@@ -1,0 +1,255 @@
+// Command actorprof is the ActorProf visualization utility: it renders
+// the trace files a profiled run produced (PEi_send.csv, PEi_PAPI.csv,
+// overall.txt, physical.txt) as terminal plots and, optionally, SVG
+// documents.
+//
+// It mirrors the paper's run-time flags:
+//
+//	-l    logical-trace heatmap      (logical.py)
+//	-lp   PAPI bar graph             (papi.py)
+//	-s    overall stacked bar graph  (Overall.py), absolute and relative
+//	-p    physical-trace heatmap     (physical.py)
+//
+// plus the quartile violin plots of the case study and an export of the
+// physical trace in Google Trace Event JSON (a paper future-work item):
+//
+//	-violin        logical+physical violins
+//	-svg DIR       also write every selected plot as an SVG into DIR
+//	-trace-events FILE  write physical trace as chrome://tracing JSON
+//	-event NAME    PAPI event for -lp (default PAPI_TOT_INS)
+//
+// Usage:
+//
+//	actorprof [flags] <trace-dir>
+//
+// With no plot flags, every plot the trace directory supports is
+// rendered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"actorprof/internal/core"
+	"actorprof/internal/papi"
+	"actorprof/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "actorprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("actorprof", flag.ContinueOnError)
+	var (
+		logical     = fs.Bool("l", false, "render the logical-trace heatmap")
+		papiBar     = fs.Bool("lp", false, "render the PAPI counter bar graph")
+		overall     = fs.Bool("s", false, "render the overall MAIN/COMM/PROC stacked bars")
+		physical    = fs.Bool("p", false, "render the physical-trace heatmap")
+		violins     = fs.Bool("violin", false, "render quartile violin plots")
+		svgDir      = fs.String("svg", "", "directory to also write SVG files into")
+		eventName   = fs.String("event", "PAPI_TOT_INS", "PAPI event for -lp")
+		traceEvents = fs.String("trace-events", "", "write the physical trace as Google Trace Event JSON to this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: actorprof [-l] [-lp] [-s] [-p] [-violin] [-svg dir] <trace-dir>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one trace directory, got %d args", fs.NArg())
+	}
+	dir := fs.Arg(0)
+
+	set, err := trace.ReadSet(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s (%d PEs, %d per node)\n\n", dir, set.NumPEs, set.PEsPerNode)
+
+	all := !*logical && !*papiBar && !*overall && !*physical && !*violins && *traceEvents == ""
+	svg := func(name, doc string) error {
+		if *svgDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*svgDir, name), []byte(doc), 0o644)
+	}
+
+	if (*logical || all) && set.Config.Logical {
+		hm := core.LogicalHeatmap(set, "Logical Trace (pre-aggregation sends)")
+		if err := hm.RenderText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		doc, err := hm.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := svg("logical_heatmap.svg", doc); err != nil {
+			return err
+		}
+	}
+	if (*physical || all) && set.Config.Physical {
+		hm := core.PhysicalHeatmap(set, "Physical Trace (post-aggregation buffers)")
+		if err := hm.RenderText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		doc, err := hm.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := svg("physical_heatmap.svg", doc); err != nil {
+			return err
+		}
+	}
+	if (*violins || all) && set.Config.Logical {
+		v := core.LogicalViolin(set, "Logical sends/recvs per PE (quartiles)")
+		if err := v.RenderText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		doc, err := v.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := svg("logical_violin.svg", doc); err != nil {
+			return err
+		}
+	}
+	if (*violins || all) && set.Config.Physical {
+		v := core.PhysicalViolin(set, "Physical buffers per PE (quartiles)")
+		if err := v.RenderText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		doc, err := v.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := svg("physical_violin.svg", doc); err != nil {
+			return err
+		}
+	}
+	if (*papiBar || all) && len(set.Config.PAPIEvents) > 0 {
+		ev, err := papi.EventByName(*eventName)
+		if err != nil {
+			return err
+		}
+		bar := core.PAPIBar(set, ev, fmt.Sprintf("%s per PE (user regions)", ev))
+		if err := bar.RenderText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		doc, err := bar.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := svg("papi_bar.svg", doc); err != nil {
+			return err
+		}
+		// The full -lp view: every recorded counter in one grouped plot.
+		if len(set.Config.PAPIEvents) > 1 {
+			gb := core.PAPIGroupedBar(set, "All PAPI counters per PE (one run)")
+			if err := gb.RenderText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			doc, err := gb.RenderSVG()
+			if err != nil {
+				return err
+			}
+			if err := svg("papi_grouped.svg", doc); err != nil {
+				return err
+			}
+		}
+	}
+	if (*physical || all) && set.Config.Physical && set.NumPEs > set.PEsPerNode {
+		hm := core.NodeHeatmap(set, "Node-level network hotspots")
+		if err := hm.RenderText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		doc, err := hm.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := svg("node_heatmap.svg", doc); err != nil {
+			return err
+		}
+	}
+	if (*overall || all) && set.Config.Overall {
+		for _, mode := range []struct {
+			rel  bool
+			name string
+			file string
+		}{
+			{false, "Overall breakdown (absolute cycles)", "overall_absolute.svg"},
+			{true, "Overall breakdown (relative)", "overall_relative.svg"},
+		} {
+			sb := core.OverallStacked(set, mode.rel, mode.name)
+			if err := sb.RenderText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			doc, err := sb.RenderSVG()
+			if err != nil {
+				return err
+			}
+			if err := svg(mode.file, doc); err != nil {
+				return err
+			}
+		}
+	}
+	if all || *papiBar {
+		// Named user segments (segments.txt), when the trace has any.
+		hasSegs := false
+		for _, recs := range set.Segments {
+			if len(recs) > 0 {
+				hasSegs = true
+				break
+			}
+		}
+		if hasSegs {
+			fmt.Println("User segments (per PE):")
+			for pe := 0; pe < set.NumPEs; pe++ {
+				for _, s := range set.Segments[pe] {
+					fmt.Printf("  [PE%d] %-24s count=%-8d cycles=%-12d", pe, s.Name, s.Count, s.Cycles)
+					for i, ev := range set.Config.PAPIEvents {
+						if i < len(s.Counters) {
+							fmt.Printf(" %s=%d", ev, s.Counters[i])
+						}
+					}
+					fmt.Println()
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if *traceEvents != "" {
+		f, err := os.Create(*traceEvents)
+		if err != nil {
+			return err
+		}
+		if err := set.ExportTraceEvents(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Google Trace Event JSON to %s\n", *traceEvents)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/apps"
+	"actorprof/internal/core"
+	"actorprof/internal/sim"
+)
+
+// writeTrace produces a real trace directory for the CLI to consume.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	set, err := core.Run(core.Options{
+		Machine: sim.Machine{NumPEs: 8, PEsPerNode: 4},
+		Trace:   core.FullTrace(),
+	}, func(rt *actor.Runtime) error {
+		_, err := apps.Histogram(rt, apps.HistogramConfig{
+			UpdatesPerPE: 200, TableSizePerPE: 32, Seed: 9,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	outCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		outCh <- string(out)
+	}()
+	errCh <- fn()
+	w.Close()
+	os.Stdout = old
+	if err := <-errCh; err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return <-outCh
+}
+
+func TestCLIAllPlots(t *testing.T) {
+	dir := writeTrace(t)
+	out := capture(t, func() error { return run([]string{dir}) })
+	for _, want := range []string{
+		"Logical Trace", "Physical Trace", "quartiles",
+		"PAPI_TOT_INS", "Overall breakdown", "T_MAIN", "node",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("default output missing %q", want)
+		}
+	}
+}
+
+func TestCLISelectedPlotOnly(t *testing.T) {
+	dir := writeTrace(t)
+	out := capture(t, func() error { return run([]string{"-s", dir}) })
+	if !strings.Contains(out, "Overall breakdown") {
+		t.Error("missing overall plot")
+	}
+	if strings.Contains(out, "Logical Trace") {
+		t.Error("-s must not render the logical heatmap")
+	}
+}
+
+func TestCLISVGOutput(t *testing.T) {
+	dir := writeTrace(t)
+	svgDir := t.TempDir()
+	capture(t, func() error { return run([]string{"-l", "-s", "-lp", "-p", "-violin", "-svg", svgDir, dir}) })
+	for _, f := range []string{
+		"logical_heatmap.svg", "physical_heatmap.svg", "logical_violin.svg",
+		"physical_violin.svg", "papi_bar.svg", "papi_grouped.svg",
+		"overall_absolute.svg", "overall_relative.svg", "node_heatmap.svg",
+	} {
+		path := filepath.Join(svgDir, f)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing SVG %s: %v", f, err)
+			continue
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not an SVG", f)
+		}
+	}
+}
+
+func TestCLITraceEvents(t *testing.T) {
+	dir := writeTrace(t)
+	jsonPath := filepath.Join(t.TempDir(), "events.json")
+	capture(t, func() error { return run([]string{"-trace-events", jsonPath, dir}) })
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "[") {
+		t.Fatal("trace events not a JSON array")
+	}
+	for _, want := range []string{`"name":"local_send"`, `"cat":"conveyor"`, `"ph":"i"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace events missing %s", want)
+		}
+	}
+}
+
+func TestCLIBadArguments(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("expected error for missing trace dir")
+	}
+	if err := run([]string{"/nonexistent/trace/dir"}); err == nil {
+		t.Error("expected error for bad trace dir")
+	}
+	dir := writeTrace(t)
+	if err := run([]string{"-lp", "-event", "PAPI_BOGUS", dir}); err == nil {
+		t.Error("expected error for unknown PAPI event")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"actorprof/internal/graph"
+)
+
+func TestRunWritesLoadableEdgeList(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-scale", "8", "-ef", "8", "-seed", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 256 {
+		t.Fatalf("vertices = %d, want 256", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// The written graph must equal a direct generation with the same
+	// parameters.
+	want, err := graph.GenerateRMAT(graph.Graph500(8, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != want.NumEdges() {
+		t.Fatalf("edge count %d, want %d", g.NumEdges(), want.NumEdges())
+	}
+	for i := int64(0); i < g.NumVertices(); i++ {
+		if g.Degree(i) != want.Degree(i) {
+			t.Fatalf("row %d degree mismatch", i)
+		}
+	}
+}
+
+func TestRunRejectsBadProbabilities(t *testing.T) {
+	if err := run([]string{"-scale", "8", "-a", "0.9"}); err == nil ||
+		!strings.Contains(err.Error(), "sum") {
+		t.Fatalf("expected probability-sum error, got %v", err)
+	}
+}

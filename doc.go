@@ -1,0 +1,13 @@
+// Package actorprof is a pure-Go reproduction of "ActorProf: A Framework
+// for Profiling and Visualizing Fine-grained Asynchronous Bulk
+// Synchronous Parallel Execution" (SC 2024): an FA-BSP software stack -
+// simulated OpenSHMEM, Conveyors message aggregation, HClib-style
+// tasking, actor/selector runtime - together with the ActorProf profiler
+// (logical/physical/PAPI/overall traces) and its visualizations.
+//
+// The root package carries the module documentation and the benchmark
+// harness (bench_test.go) that regenerates every figure of the paper's
+// evaluation; the implementation lives under internal/ (see DESIGN.md
+// for the system inventory) and the runnable entry points under cmd/ and
+// examples/.
+package actorprof

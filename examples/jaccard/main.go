@@ -1,0 +1,103 @@
+// Jaccard: edge-neighborhood similarity as a two-phase FA-BSP actor
+// program, the messaging pattern behind the paper's genome-comparison
+// workload ("Asynchronous distributed actor-based approach to Jaccard
+// similarity", one of the applications the authors profile with
+// ActorProf).
+//
+// Phase one probes candidate edges exactly like triangle counting; a
+// confirmed triangle triggers phase-two credit messages through the
+// selector's second mailbox. The program validates the per-edge common
+// counts against the triangle count, prints the most similar edges, and
+// shows the overall profile of the two-phase exchange.
+//
+// Run:
+//
+//	go run ./examples/jaccard [-scale 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/apps"
+	"actorprof/internal/core"
+	"actorprof/internal/graph"
+	"actorprof/internal/sim"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "R-MAT scale")
+	flag.Parse()
+
+	g, err := graph.GenerateRMAT(graph.Graph500(*scale, 16, 1234))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := g.Symmetrize()
+	const numPEs, perNode = 16, 8
+	dist := graph.NewRangeDist(g, numPEs)
+
+	type scored struct {
+		u, v   int64
+		common int64
+		sim    float64
+	}
+	var all []scored
+	var mu sync.Mutex
+	var check int64
+
+	set, err := core.Run(core.Options{
+		Machine: sim.Machine{NumPEs: numPEs, PEsPerNode: perNode},
+		Trace:   core.FullTrace(),
+	}, func(rt *actor.Runtime) error {
+		res, err := apps.Jaccard(rt, g, dist)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if rt.PE().Rank() == 0 {
+			check = res.TriangleCheck
+		}
+		for key, c := range res.Common {
+			u, v := key>>32, key&0xffffffff
+			s := apps.JaccardSimilarity(c, full.Degree(u), full.Degree(v))
+			all = append(all, scored{u: u, v: v, common: c, sim: s})
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := g.CountTrianglesSerial()
+	status := "VALIDATED"
+	if check != want {
+		status = fmt.Sprintf("MISMATCH (want %d)", want)
+	}
+	fmt.Printf("graph: %d vertices, %d edges; triangle cross-check %d [%s]\n\n",
+		g.NumVertices(), g.NumEdges(), check, status)
+
+	sort.Slice(all, func(i, j int) bool { return all[i].sim > all[j].sim })
+	fmt.Println("most similar neighborhoods (top 10 edges):")
+	for i := 0; i < 10 && i < len(all); i++ {
+		e := all[i]
+		fmt.Printf("  (%4d, %4d)  common=%3d  deg=%d/%d  J=%.3f\n",
+			e.u, e.v, e.common, full.Degree(e.u), full.Degree(e.v), e.sim)
+	}
+
+	var tm, tc, tp, tt int64
+	for _, r := range set.Overall {
+		tm += r.TMain
+		tc += r.TComm
+		tp += r.TProc
+		tt += r.TTotal
+	}
+	fmt.Printf("\ntwo-phase exchange profile: MAIN %.1f%%  COMM %.1f%%  PROC %.1f%% (%d logical sends)\n",
+		100*float64(tm)/float64(tt), 100*float64(tc)/float64(tt),
+		100*float64(tp)/float64(tt), set.LogicalMatrix().Total())
+}

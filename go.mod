@@ -1,0 +1,3 @@
+module actorprof
+
+go 1.22

@@ -1,0 +1,86 @@
+package actor
+
+import (
+	"testing"
+
+	"actorprof/internal/papi"
+	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
+	"actorprof/internal/trace"
+)
+
+// benchSendRecv measures end-to-end actor messaging: npes PEs each
+// sending msgs messages, handlers counting, with optional tracing.
+func benchSendRecv(b *testing.B, npes, perNode, msgs int, traceCfg trace.Config) {
+	b.ReportMetric(float64(npes*msgs), "msgs/op")
+	machine := sim.Machine{NumPEs: npes, PEsPerNode: perNode}
+	for i := 0; i < b.N; i++ {
+		var coll *trace.Collector
+		if traceCfg.Any() {
+			var err error
+			coll, err = trace.NewCollector(traceCfg, machine)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		err := shmem.Run(shmem.Config{Machine: machine}, func(pe *shmem.PE) {
+			rt := NewRuntime(pe, RuntimeOptions{Collector: coll})
+			sel, err := NewActor(rt, Int64Codec())
+			if err != nil {
+				panic(err)
+			}
+			count := 0
+			sel.Process(0, func(int64, int) { count++ })
+			rt.Finish(func() {
+				sel.Start()
+				for m := 0; m < msgs; m++ {
+					sel.Send(0, int64(m), (pe.Rank()+m)%npes)
+				}
+				sel.Done(0)
+			})
+			rt.Close()
+			pe.Barrier()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendRecvUntraced(b *testing.B) {
+	benchSendRecv(b, 8, 4, 5000, trace.Config{})
+}
+
+func BenchmarkSendRecvLogicalTrace(b *testing.B) {
+	benchSendRecv(b, 8, 4, 5000, trace.Config{Logical: true})
+}
+
+func BenchmarkSendRecvFullTrace(b *testing.B) {
+	benchSendRecv(b, 8, 4, 5000, trace.Config{
+		Logical: true, Physical: true, Overall: true,
+		PAPIEvents: []papi.Event{papi.TOT_INS, papi.LST_INS},
+	})
+}
+
+func BenchmarkSendRecvSampledTrace(b *testing.B) {
+	benchSendRecv(b, 8, 4, 5000, trace.Config{
+		Logical: true, Physical: true, Overall: true,
+		PAPIEvents:      []papi.Event{papi.TOT_INS, papi.LST_INS},
+		LogicalSample:   100,
+		PAPIRecordEvery: 256,
+	})
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	codec := TripleCodec()
+	buf := make([]byte, codec.Size)
+	msg := Triple{A: 1, B: 2, C: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Encode(buf, msg)
+		msg = codec.Decode(buf)
+	}
+	if msg.A != 1 {
+		b.Fatal("corrupted")
+	}
+}

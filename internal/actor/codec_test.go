@@ -1,0 +1,98 @@
+package actor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64CodecRoundTripProperty(t *testing.T) {
+	c := Int64Codec()
+	buf := make([]byte, c.Size)
+	f := func(v int64) bool {
+		c.Encode(buf, v)
+		return c.Decode(buf) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairCodecRoundTripProperty(t *testing.T) {
+	c := PairCodec()
+	buf := make([]byte, c.Size)
+	f := func(a, b int64) bool {
+		c.Encode(buf, Pair{A: a, B: b})
+		got := c.Decode(buf)
+		return got.A == a && got.B == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleCodecRoundTripProperty(t *testing.T) {
+	c := TripleCodec()
+	buf := make([]byte, c.Size)
+	f := func(a, b, cc int64) bool {
+		c.Encode(buf, Triple{A: a, B: b, C: cc})
+		got := c.Decode(buf)
+		return got.A == a && got.B == b && got.C == cc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU32PairCodecRoundTripProperty(t *testing.T) {
+	c := U32PairCodec()
+	buf := make([]byte, c.Size)
+	f := func(a, b uint32) bool {
+		c.Encode(buf, U32Pair{A: a, B: b})
+		got := c.Decode(buf)
+		return got.A == a && got.B == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatPairCodecRoundTripProperty(t *testing.T) {
+	c := FloatPairCodec()
+	buf := make([]byte, c.Size)
+	f := func(i int64, v float64) bool {
+		c.Encode(buf, FloatPair{Index: i, Value: v})
+		got := c.Decode(buf)
+		// NaN round trips bit-exactly but compares unequal; check bits
+		// via re-encode instead.
+		buf2 := make([]byte, c.Size)
+		c.Encode(buf2, got)
+		for k := range buf {
+			if buf[k] != buf2[k] {
+				return false
+			}
+		}
+		return got.Index == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecSizesMatchWireExpectations(t *testing.T) {
+	// The paper's motivating message sizes are 8-32 bytes; the stock
+	// codecs stay in that band.
+	for _, tc := range []struct {
+		name string
+		size int
+	}{
+		{"int64", Int64Codec().Size},
+		{"u32pair", U32PairCodec().Size},
+		{"pair", PairCodec().Size},
+		{"floatpair", FloatPairCodec().Size},
+		{"triple", TripleCodec().Size},
+	} {
+		if tc.size < 8 || tc.size > 32 {
+			t.Errorf("%s codec size %d outside the paper's 8-32 byte band", tc.name, tc.size)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package actor
+
+import (
+	"fmt"
+
+	"actorprof/internal/conveyor"
+)
+
+// Selector is an actor with multiple guarded mailboxes (Imam & Sarkar's
+// selector model, as adopted by HClib-Actor). Each mailbox carries
+// messages of type T and has its own Process handler and its own
+// Conveyors instance underneath. A Selector with one mailbox is a plain
+// actor.
+//
+// Lifecycle (paper Listing 1):
+//
+//	sel := actor.NewSelector(rt, 1, actor.Int64Codec())
+//	sel.Process(0, func(msg int64, srcPE int) { ... })
+//	rt.Finish(func() {
+//		sel.Start()
+//		for ... { sel.Send(0, msg, dst) }
+//		sel.Done(0)
+//	})
+//
+// All methods must be called from the owning PE's goroutine. Handlers run
+// interleaved with the sender's code on the same goroutine, one at a
+// time, so handler bodies need no synchronization.
+type Selector[T any] struct {
+	rt    *Runtime
+	codec Codec[T]
+
+	mailboxes []mailbox[T]
+	convs     []*conveyor.Conveyor
+
+	started  bool
+	finished bool
+	// sendCount / recvCount per mailbox, for tests and load statistics.
+	sendCount []int64
+	recvCount []int64
+	// inProgress guards against re-entrant progress from handler sends.
+	inProgress bool
+	buf        []byte
+}
+
+type mailbox[T any] struct {
+	process func(msg T, srcPE int)
+	done    bool
+}
+
+// NewSelector creates a selector with n mailboxes carrying T. It is a
+// collective call: every PE must create its selectors in the same order
+// with the same parameters (the conveyor construction underneath
+// allocates symmetric memory).
+func NewSelector[T any](rt *Runtime, n int, codec Codec[T]) (*Selector[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("actor: selector needs at least one mailbox, got %d", n)
+	}
+	if codec.Size <= 0 || codec.Encode == nil || codec.Decode == nil {
+		return nil, fmt.Errorf("actor: incomplete codec")
+	}
+	s := &Selector[T]{
+		rt:        rt,
+		codec:     codec,
+		mailboxes: make([]mailbox[T], n),
+		convs:     make([]*conveyor.Conveyor, n),
+		sendCount: make([]int64, n),
+		recvCount: make([]int64, n),
+		buf:       make([]byte, codec.Size),
+	}
+	for mb := 0; mb < n; mb++ {
+		opts := conveyor.Options{
+			ItemBytes:   codec.Size,
+			BufferItems: rt.opts.BufferItems,
+			Topology:    rt.opts.Topology,
+		}
+		if rt.pc != nil {
+			pc := rt.pc
+			opts.OnPhysical = func(kind conveyor.SendKind, bufBytes, src, dst int) {
+				if !rt.paused {
+					pc.PhysicalSendAt(kind, bufBytes, src, dst, rt.pe.Clock().Now())
+				}
+			}
+		}
+		c, err := conveyor.New(rt.pe, opts)
+		if err != nil {
+			return nil, fmt.Errorf("actor: creating mailbox %d conveyor: %w", mb, err)
+		}
+		s.convs[mb] = c
+	}
+	return s, nil
+}
+
+// NewActor creates a single-mailbox selector (a plain actor).
+func NewActor[T any](rt *Runtime, codec Codec[T]) (*Selector[T], error) {
+	return NewSelector(rt, 1, codec)
+}
+
+// Process installs the handler for mailbox mb. Must be called before
+// Start.
+func (s *Selector[T]) Process(mb int, fn func(msg T, srcPE int)) {
+	s.checkMailbox(mb)
+	if s.started {
+		panic("actor: Process after Start")
+	}
+	s.mailboxes[mb].process = fn
+}
+
+// NumMailboxes returns the number of mailboxes.
+func (s *Selector[T]) NumMailboxes() int { return len(s.mailboxes) }
+
+// SendCount returns how many messages this PE has sent via mailbox mb.
+func (s *Selector[T]) SendCount(mb int) int64 { s.checkMailbox(mb); return s.sendCount[mb] }
+
+// RecvCount returns how many messages this PE has handled on mailbox mb.
+func (s *Selector[T]) RecvCount(mb int) int64 { s.checkMailbox(mb); return s.recvCount[mb] }
+
+func (s *Selector[T]) checkMailbox(mb int) {
+	if mb < 0 || mb >= len(s.mailboxes) {
+		panic(fmt.Sprintf("actor: mailbox %d out of range (selector has %d)", mb, len(s.mailboxes)))
+	}
+}
+
+// Start launches the selector: its progress worker is scheduled on the
+// PE's task queue and will run until every mailbox is done and drained.
+// Start must be called inside a Finish scope, whose completion then
+// coincides with the selector's termination (Listing 1).
+func (s *Selector[T]) Start() {
+	if s.started {
+		panic("actor: Start called twice")
+	}
+	for mb := range s.mailboxes {
+		if s.mailboxes[mb].process == nil {
+			panic(fmt.Sprintf("actor: mailbox %d has no Process handler", mb))
+		}
+	}
+	s.started = true
+	var worker func()
+	worker = func() {
+		s.progress()
+		if !s.terminated() {
+			s.rt.ctx.Async(worker)
+		} else {
+			s.finished = true
+		}
+	}
+	s.rt.ctx.Async(worker)
+}
+
+// Send delivers msg asynchronously to mailbox mb of the selector instance
+// on PE dst. The message is aggregated; the destination handler runs at
+// some later point, interleaved with its PE's own computation. Send may
+// execute handlers of *this* PE inline while it waits for aggregation
+// buffer space - that interleaving is the FA-BSP model.
+func (s *Selector[T]) Send(mb int, msg T, dst int) {
+	s.checkMailbox(mb)
+	if !s.started {
+		panic("actor: Send before Start")
+	}
+	if s.mailboxes[mb].done {
+		panic(fmt.Sprintf("actor: Send on mailbox %d after Done", mb))
+	}
+	rt := s.rt
+
+	// Message construction and the mailbox append are MAIN-segment user
+	// work (Table I): tally the PAPI cost model and charge the clock.
+	s.sendCount[mb]++
+	w := rt.costs.SendWork(s.codec.Size)
+	rt.engine.Tally(w)
+	rt.pe.Charge(rt.pe.World().Cost().InstructionCost(w.Ins))
+	if rt.collecting() {
+		rt.pc.LogicalSend(mb, dst, s.codec.Size)
+	}
+
+	s.codec.Encode(s.buf, msg)
+	c := s.convs[mb]
+	if c.Push(s.buf, dst) {
+		return
+	}
+	// Aggregation buffer full: enter the runtime (COMM attribution),
+	// make progress - which may run this PE's handlers - and retry.
+	// Handlers may themselves Send and would clobber the shared encode
+	// buffer, so the pending message gets its own copy.
+	pending := append([]byte(nil), s.buf...)
+	rt.enterRuntime()
+	for {
+		c.Advance(false)
+		s.drain(mb)
+		if c.Push(pending, dst) {
+			break
+		}
+		// Also progress the other mailboxes; their backlogs can be what
+		// holds the window shut on shared intermediate hops.
+		for omb := range s.convs {
+			if omb != mb {
+				s.convs[omb].Advance(s.mailboxes[omb].done)
+				s.drain(omb)
+			}
+		}
+	}
+	rt.exitRuntime()
+}
+
+// Done declares that this PE will send no more messages on mailbox mb
+// (Listing 1's actor_ptr->done(0)). When every mailbox of every PE is
+// done and all messages are handled, the selector terminates and the
+// enclosing Finish returns.
+func (s *Selector[T]) Done(mb int) {
+	s.checkMailbox(mb)
+	if !s.started {
+		panic("actor: Done before Start")
+	}
+	s.mailboxes[mb].done = true
+	// Tell the conveyor immediately so termination detection can begin.
+	rt := s.rt
+	rt.enterRuntime()
+	s.convs[mb].Advance(true)
+	s.drain(mb)
+	rt.exitRuntime()
+}
+
+// DoneAll marks every mailbox done.
+func (s *Selector[T]) DoneAll() {
+	for mb := range s.mailboxes {
+		if !s.mailboxes[mb].done {
+			s.Done(mb)
+		}
+	}
+}
+
+// Finished reports whether the selector has fully terminated.
+func (s *Selector[T]) Finished() bool { return s.finished }
+
+// MailboxComplete reports whether mailbox mb has globally quiesced: its
+// conveyor terminated and every delivered message on this PE handled.
+// Multi-phase protocols use it for staged teardown - e.g. a
+// request/response selector closes the response mailbox only once the
+// request mailbox is complete, since completions guarantee no further
+// requests (and hence no further responses) can appear.
+func (s *Selector[T]) MailboxComplete(mb int) bool {
+	s.checkMailbox(mb)
+	return s.convs[mb].Complete() && s.convs[mb].PendingPulls() == 0
+}
+
+// Progress makes one round of communication progress synchronously:
+// advance every mailbox and dispatch received messages. Long-running
+// local computations can call it to interleave handler execution, and
+// staged-teardown loops spin on it.
+func (s *Selector[T]) Progress() { s.progress() }
+
+// progress advances every mailbox's conveyor and dispatches received
+// messages. It is the body of the selector's cooperative worker task.
+func (s *Selector[T]) progress() {
+	if s.inProgress {
+		return
+	}
+	s.inProgress = true
+	rt := s.rt
+	rt.enterRuntime()
+	for mb := range s.convs {
+		s.convs[mb].Advance(s.mailboxes[mb].done)
+		s.drain(mb)
+	}
+	rt.exitRuntime()
+	s.inProgress = false
+}
+
+// drain dispatches every pending message of mailbox mb. Handler
+// executions are carved into the PROC regime and tallied with the
+// handler-dispatch cost model.
+func (s *Selector[T]) drain(mb int) {
+	c := s.convs[mb]
+	m := &s.mailboxes[mb]
+	rt := s.rt
+	for {
+		item, src, ok := c.Pull()
+		if !ok {
+			return
+		}
+		s.recvCount[mb]++
+		w := rt.costs.HandlerWork(s.codec.Size)
+		rt.engine.Tally(w)
+		rt.pe.Charge(rt.pe.World().Cost().InstructionCost(w.Ins))
+		msg := s.codec.Decode(item)
+		start := rt.handlerEnter()
+		m.process(msg, src)
+		rt.handlerExit(start)
+	}
+}
+
+// terminated reports whether every mailbox's conveyor has completed and
+// every delivered message has been handled.
+func (s *Selector[T]) terminated() bool {
+	for mb := range s.convs {
+		if !s.convs[mb].Complete() || s.convs[mb].PendingPulls() > 0 {
+			return false
+		}
+	}
+	return true
+}

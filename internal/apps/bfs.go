@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"fmt"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/graph"
+	"actorprof/internal/papi"
+	"actorprof/internal/shmem"
+)
+
+// BFSResult reports one PE's view of a breadth-first search.
+type BFSResult struct {
+	// Level[i] is the BFS level of locally-owned vertex i, or -1 when
+	// unreachable / not owned. Indexed by global vertex id.
+	Level []int64
+	// Visited is the global number of reached vertices.
+	Visited int64
+	// Depth is the number of BFS levels executed.
+	Depth int
+}
+
+// BFS runs a level-synchronous actor-based breadth-first search from
+// root over the full (symmetrized) adjacency. Each level is one FA-BSP
+// superstep: frontier vertices send visit messages to the owners of
+// their neighbors; handlers mark unvisited vertices and build the next
+// frontier. This is the paper-intro BFS workload and mirrors the
+// actor-based formulations in the HClib-Actor literature.
+//
+// full must be the symmetrized adjacency (graph.Symmetrize).
+func BFS(rt *actor.Runtime, full *graph.Graph, dist graph.Distribution, root int64) (BFSResult, error) {
+	pe := rt.PE()
+	if dist.NumPEs() != pe.NumPEs() {
+		return BFSResult{}, fmt.Errorf("apps: distribution built for %d PEs, world has %d",
+			dist.NumPEs(), pe.NumPEs())
+	}
+	if root < 0 || root >= full.NumVertices() {
+		return BFSResult{}, fmt.Errorf("apps: BFS root %d out of range", root)
+	}
+	me := pe.Rank()
+	n := full.NumVertices()
+
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	var frontier []int64
+	if dist.Owner(root) == me {
+		level[root] = 0
+		frontier = append(frontier, root)
+	}
+
+	depth := 0
+	for lvl := int64(0); ; lvl++ {
+		var next []int64
+		sel, err := actor.NewActor(rt, actor.Int64Codec())
+		if err != nil {
+			return BFSResult{}, fmt.Errorf("apps: BFS selector: %w", err)
+		}
+		sel.Process(0, func(v int64, src int) {
+			rt.Work(papi.Work{Ins: 10, LstIns: 3, BrMsp: 1, Cyc: 7})
+			if level[v] < 0 {
+				level[v] = lvl + 1
+				next = append(next, v)
+			}
+		})
+		rt.Finish(func() {
+			sel.Start()
+			for _, v := range frontier {
+				row := full.Row(v)
+				rt.Work(papi.Work{Ins: int64(len(row)) * 3, LstIns: int64(len(row)), Cyc: int64(len(row)) * 2})
+				for _, nb := range row {
+					sel.Send(0, nb, dist.Owner(nb))
+				}
+			}
+			sel.Done(0)
+		})
+		depth++
+		grew := pe.AllReduceInt64(shmem.OpSum, int64(len(next)))
+		frontier = next
+		if grew == 0 {
+			break
+		}
+	}
+
+	var visited int64
+	for _, l := range level {
+		if l >= 0 {
+			visited++
+		}
+	}
+	total := pe.AllReduceInt64(shmem.OpSum, visited)
+	return BFSResult{Level: level, Visited: total, Depth: depth}, nil
+}

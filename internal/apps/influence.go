@@ -1,0 +1,259 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/graph"
+	"actorprof/internal/papi"
+	"actorprof/internal/shmem"
+)
+
+// InfluenceConfig parameterizes the RR-set influence-maximization run.
+type InfluenceConfig struct {
+	// Seeds is k, the number of influencers to select.
+	Seeds int
+	// Walks is R, the number of reverse-reachable (RR) sets sampled.
+	Walks int
+	// EdgeProb is the independent-cascade activation probability (in
+	// 1/256 units for determinism; 64 means p = 0.25).
+	EdgeProb256 int
+	// Seed drives the deterministic sampling.
+	Seed uint64
+}
+
+// InfluenceResult reports the selected seed set and its estimated
+// coverage.
+type InfluenceResult struct {
+	// Seeds are the chosen influencer vertices, in selection order.
+	Seeds []int64
+	// Covered is the number of RR sets hit by the seed set; the
+	// estimated influence is Covered/Walks * |V|.
+	Covered int64
+}
+
+// Influence runs a simplified RIM/TIM-style influence maximization as an
+// FA-BSP program - the paper lists "Asynchronous Distributed-Memory
+// Parallel Algorithms for Influence Maximization" among the workloads
+// ActorProf is actively used on. The algorithm:
+//
+//  1. Sample R reverse-reachable sets under the independent-cascade
+//     model: RR set r grows by BFS from a pseudo-random root, crossing
+//     each edge with probability p. Edge coin flips are a deterministic
+//     hash of (edge, walk), so the distributed expansion - actor
+//     messages carrying (walk, vertex) visits to the vertices' owners -
+//     produces exactly the sets a serial run produces, regardless of
+//     message interleaving.
+//  2. Greedy selection: k rounds of "pick the vertex covering the most
+//     yet-uncovered RR sets", with the argmax found by an encoded
+//     all-reduce and the winner's covered-walk list broadcast through a
+//     second messaging phase.
+//
+// Every PE returns the same result.
+func Influence(rt *actor.Runtime, full *graph.Graph, dist graph.Distribution, cfg InfluenceConfig) (InfluenceResult, error) {
+	pe := rt.PE()
+	if dist.NumPEs() != pe.NumPEs() {
+		return InfluenceResult{}, fmt.Errorf("apps: distribution built for %d PEs, world has %d",
+			dist.NumPEs(), pe.NumPEs())
+	}
+	if cfg.Seeds <= 0 || cfg.Walks <= 0 {
+		return InfluenceResult{}, fmt.Errorf("apps: Seeds and Walks must be positive, got %d/%d",
+			cfg.Seeds, cfg.Walks)
+	}
+	if cfg.EdgeProb256 <= 0 || cfg.EdgeProb256 > 256 {
+		return InfluenceResult{}, fmt.Errorf("apps: EdgeProb256 must be in 1..256, got %d", cfg.EdgeProb256)
+	}
+	me := pe.Rank()
+	n := full.NumVertices()
+
+	// memberOf[v] lists the walks whose RR set contains locally-owned v.
+	memberOf := make(map[int64][]int32)
+	// visited[(walk, v)] dedups expansion.
+	type wv struct {
+		walk int32
+		v    int64
+	}
+	visited := make(map[wv]bool)
+
+	// Phase 1: expand all RR sets concurrently. Message = (walk, vertex).
+	var frontier []wv
+	for w := 0; w < cfg.Walks; w++ {
+		root := int64(hash2(cfg.Seed, uint64(w), 0) % uint64(n))
+		if dist.Owner(root) == me {
+			k := wv{walk: int32(w), v: root}
+			visited[k] = true
+			memberOf[root] = append(memberOf[root], int32(w))
+			frontier = append(frontier, k)
+		}
+	}
+	for {
+		var next []wv
+		sel, err := actor.NewActor(rt, actor.PairCodec())
+		if err != nil {
+			return InfluenceResult{}, fmt.Errorf("apps: influence selector: %w", err)
+		}
+		sel.Process(0, func(msg actor.Pair, src int) {
+			rt.Work(papi.Work{Ins: 12, LstIns: 4, BrMsp: 1, Cyc: 8})
+			k := wv{walk: int32(msg.A), v: msg.B}
+			if !visited[k] {
+				visited[k] = true
+				memberOf[k.v] = append(memberOf[k.v], k.walk)
+				next = append(next, k)
+			}
+		})
+		rt.Finish(func() {
+			sel.Start()
+			for _, f := range frontier {
+				row := full.Row(f.v)
+				rt.Work(papi.Work{Ins: int64(len(row)) * 5, LstIns: int64(len(row)), Cyc: int64(len(row)) * 3})
+				for _, nb := range row {
+					// The RR set crosses edge (f.v -> nb) when the
+					// deterministic coin for (edge, walk) comes up live.
+					if edgeLive(cfg.Seed, f.v, nb, f.walk, cfg.EdgeProb256) {
+						sel.Send(0, actor.Pair{A: int64(f.walk), B: nb}, dist.Owner(nb))
+					}
+				}
+			}
+			sel.Done(0)
+		})
+		grew := pe.AllReduceInt64(shmem.OpSum, int64(len(next)))
+		frontier = next
+		if grew == 0 {
+			break
+		}
+	}
+
+	// Phase 2: greedy argmax selection over uncovered walks.
+	covered := make([]bool, cfg.Walks)
+	var seeds []int64
+	var totalCovered int64
+	for round := 0; round < cfg.Seeds; round++ {
+		// Local best: vertex with max marginal coverage; ties to the
+		// smaller vertex id so every PE agrees deterministically.
+		bestV, bestC := int64(-1), int64(0)
+		for v, walks := range memberOf {
+			var c int64
+			for _, w := range walks {
+				if !covered[w] {
+					c++
+				}
+			}
+			if c > bestC || (c == bestC && c > 0 && (bestV < 0 || v < bestV)) {
+				bestV, bestC = v, c
+			}
+		}
+		// Global argmax: encode (count, inverted vertex id) so max
+		// picks the highest count and the smallest vertex among ties.
+		enc := int64(0)
+		if bestV >= 0 {
+			enc = bestC<<24 | (int64(1)<<24 - 1 - bestV)
+		}
+		win := pe.AllReduceInt64(shmem.OpMax, enc)
+		if win == 0 {
+			break // nothing uncovered remains coverable
+		}
+		winC := win >> 24
+		winV := int64(1)<<24 - 1 - (win & (int64(1)<<24 - 1))
+		seeds = append(seeds, winV)
+		totalCovered += winC
+
+		// The winner's owner broadcasts the walks the seed covers; all
+		// PEs mark them. A small selector keeps this in the FA-BSP
+		// model (the owner fans the walk ids out to everyone).
+		bs, err := actor.NewActor(rt, actor.Int64Codec())
+		if err != nil {
+			return InfluenceResult{}, err
+		}
+		bs.Process(0, func(w int64, src int) {
+			covered[w] = true
+		})
+		rt.Finish(func() {
+			bs.Start()
+			if dist.Owner(winV) == me {
+				for _, w := range memberOf[winV] {
+					if !covered[w] {
+						for p := 0; p < pe.NumPEs(); p++ {
+							bs.Send(0, int64(w), p)
+						}
+					}
+				}
+			}
+			bs.Done(0)
+		})
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return InfluenceResult{Seeds: seeds, Covered: totalCovered}, nil
+}
+
+// hash2 is a deterministic 64-bit mix of three values.
+func hash2(seed, a, b uint64) uint64 {
+	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// edgeLive decides the independent-cascade coin for (edge, walk)
+// deterministically; the edge key is orientation-independent so both
+// directions agree.
+func edgeLive(seed uint64, u, v int64, walk int32, prob256 int) bool {
+	if u < v {
+		u, v = v, u
+	}
+	h := hash2(seed, uint64(u)<<32|uint64(v), uint64(walk)+1)
+	return int(h&0xff) < prob256
+}
+
+// InfluenceSerial is the sequential reference implementation: identical
+// sampling and greedy rules, for validation.
+func InfluenceSerial(full *graph.Graph, cfg InfluenceConfig) InfluenceResult {
+	n := full.NumVertices()
+	memberOf := make(map[int64][]int32)
+	for w := 0; w < cfg.Walks; w++ {
+		root := int64(hash2(cfg.Seed, uint64(w), 0) % uint64(n))
+		seen := map[int64]bool{root: true}
+		queue := []int64{root}
+		memberOf[root] = append(memberOf[root], int32(w))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, nb := range full.Row(v) {
+				if !seen[nb] && edgeLive(cfg.Seed, v, nb, int32(w), cfg.EdgeProb256) {
+					seen[nb] = true
+					memberOf[nb] = append(memberOf[nb], int32(w))
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	covered := make([]bool, cfg.Walks)
+	var seeds []int64
+	var total int64
+	for round := 0; round < cfg.Seeds; round++ {
+		bestV, bestC := int64(-1), int64(0)
+		for v, walks := range memberOf {
+			var c int64
+			for _, w := range walks {
+				if !covered[w] {
+					c++
+				}
+			}
+			if c > bestC || (c == bestC && c > 0 && (bestV < 0 || v < bestV)) {
+				bestV, bestC = v, c
+			}
+		}
+		if bestV < 0 || bestC == 0 {
+			break
+		}
+		seeds = append(seeds, bestV)
+		total += bestC
+		for _, w := range memberOf[bestV] {
+			covered[w] = true
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return InfluenceResult{Seeds: seeds, Covered: total}
+}

@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/graph"
+	"actorprof/internal/shmem"
+)
+
+func TestInfluenceMatchesSerial(t *testing.T) {
+	g := testGraph(t, 7, 8, 55)
+	full := g.Symmetrize()
+	cfg := InfluenceConfig{Seeds: 5, Walks: 64, EdgeProb256: 48, Seed: 2024}
+	want := InfluenceSerial(full, cfg)
+	if len(want.Seeds) == 0 || want.Covered == 0 {
+		t.Fatalf("serial reference degenerate: %+v", want)
+	}
+
+	const npes, perNode = 8, 4
+	dist := graph.NewCyclicDist(npes)
+	results := make([]InfluenceResult, npes)
+	var mu sync.Mutex
+	err := shmem.Run(cfg2(npes, perNode), func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{BufferItems: 16})
+		res, err := Influence(rt, full, dist, cfg)
+		if err != nil {
+			panic(err)
+		}
+		mu.Lock()
+		results[pe.Rank()] = res
+		mu.Unlock()
+		rt.Close()
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, res := range results {
+		if res.Covered != want.Covered {
+			t.Fatalf("PE %d: covered %d, want %d", pe, res.Covered, want.Covered)
+		}
+		if len(res.Seeds) != len(want.Seeds) {
+			t.Fatalf("PE %d: %d seeds, want %d", pe, len(res.Seeds), len(want.Seeds))
+		}
+		for i := range want.Seeds {
+			if res.Seeds[i] != want.Seeds[i] {
+				t.Fatalf("PE %d: seeds %v, want %v", pe, res.Seeds, want.Seeds)
+			}
+		}
+	}
+}
+
+func TestInfluenceValidatesConfig(t *testing.T) {
+	g := testGraph(t, 6, 4, 3)
+	full := g.Symmetrize()
+	err := shmem.Run(cfg2(2, 2), func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{})
+		d := graph.NewCyclicDist(2)
+		if _, err := Influence(rt, full, d, InfluenceConfig{Seeds: 0, Walks: 8, EdgeProb256: 64}); err == nil {
+			panic("expected Seeds error")
+		}
+		if _, err := Influence(rt, full, d, InfluenceConfig{Seeds: 1, Walks: 8, EdgeProb256: 0}); err == nil {
+			panic("expected EdgeProb error")
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeLiveSymmetric(t *testing.T) {
+	// The coin must be orientation-independent: both endpoints decide
+	// identically whether the edge is live for a walk.
+	for w := int32(0); w < 50; w++ {
+		for u := int64(0); u < 10; u++ {
+			for v := int64(0); v < u; v++ {
+				if edgeLive(7, u, v, w, 100) != edgeLive(7, v, u, w, 100) {
+					t.Fatalf("edge (%d,%d) walk %d: asymmetric coin", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeLiveProbability(t *testing.T) {
+	// prob256=64 should activate roughly a quarter of coins.
+	live := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if edgeLive(99, int64(i), int64(i+1), int32(i%17), 64) {
+			live++
+		}
+	}
+	frac := float64(live) / trials
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("activation fraction %.3f, want ~0.25", frac)
+	}
+}
+
+// cfg2 mirrors cfg (name clash avoidance with InfluenceConfig variable).
+func cfg2(npes, perNode int) shmem.Config {
+	return cfg(npes, perNode)
+}

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/shmem"
+)
+
+func TestTopoSortProducesTriangularOrdering(t *testing.T) {
+	const npes, perNode, rowsPer = 8, 4, 24
+	cfg := TopoSortConfig{RowsPerPE: rowsPer, ExtraNNZPer256: 40, Seed: 321}
+	n := int64(npes * rowsPer)
+
+	rowPos := make([]int64, n)
+	matchCol := make([]int64, n)
+	for i := range rowPos {
+		rowPos[i], matchCol[i] = -1, -1
+	}
+	var mu sync.Mutex
+	err := shmem.Run(cfg2(npes, perNode), func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{BufferItems: 16})
+		res, err := TopoSort(rt, cfg)
+		if err != nil {
+			panic(err)
+		}
+		mu.Lock()
+		for r := int64(0); r < n; r++ {
+			if int(r)%npes == pe.Rank() {
+				rowPos[r] = res.RowPos[r]
+				matchCol[r] = res.MatchCol[r]
+			}
+		}
+		mu.Unlock()
+		rt.Close()
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// rowPos must be a permutation of 0..n-1 and matchCol a permutation
+	// of the columns.
+	seenPos := make([]bool, n)
+	seenCol := make([]bool, n)
+	for r := int64(0); r < n; r++ {
+		p, c := rowPos[r], matchCol[r]
+		if p < 0 || p >= n || seenPos[p] {
+			t.Fatalf("row %d: bad/duplicate position %d", r, p)
+		}
+		if c < 0 || c >= n || seenCol[c] {
+			t.Fatalf("row %d: bad/duplicate match column %d", r, c)
+		}
+		seenPos[p] = true
+		seenCol[c] = true
+	}
+
+	// Triangularity: with colPos[c] = rowPos of c's matched row, every
+	// non-zero (r, c) must satisfy colPos[c] <= rowPos[r], equality only
+	// at the match - i.e. the permuted matrix is lower triangular with
+	// the matches on the diagonal.
+	colPos := make([]int64, n)
+	for r := int64(0); r < n; r++ {
+		colPos[matchCol[r]] = rowPos[r]
+	}
+	for r := int64(0); r < n; r++ {
+		h := splitmix{state: cfg.Seed ^ uint64(r)*0x9e3779b97f4a7c15}
+		cols := []int64{r}
+		for j := r + 1; j < n; j++ {
+			if int(h.next()&0xff) < cfg.ExtraNNZPer256 {
+				cols = append(cols, j)
+			}
+		}
+		for _, c := range cols {
+			switch {
+			case c == matchCol[r]:
+				if colPos[c] != rowPos[r] {
+					t.Fatalf("match (%d,%d) not on the diagonal", r, c)
+				}
+			case colPos[c] > rowPos[r]:
+				t.Fatalf("non-zero (%d,%d): colPos %d > rowPos %d (not triangular)",
+					r, c, colPos[c], rowPos[r])
+			}
+		}
+	}
+}
+
+func TestTopoSortValidatesConfig(t *testing.T) {
+	err := shmem.Run(cfg2(2, 2), func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{})
+		if _, err := TopoSort(rt, TopoSortConfig{RowsPerPE: 0}); err == nil {
+			panic("expected RowsPerPE error")
+		}
+		if _, err := TopoSort(rt, TopoSortConfig{RowsPerPE: 4, ExtraNNZPer256: 300}); err == nil {
+			panic("expected density error")
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoSortDiagonalOnly(t *testing.T) {
+	// Zero fill: the matrix is the identity; everything peels in one
+	// round.
+	const npes = 4
+	err := shmem.Run(cfg2(npes, 2), func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{})
+		res, err := TopoSort(rt, TopoSortConfig{RowsPerPE: 8, ExtraNNZPer256: 0, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		if res.Rounds != 1 {
+			panic("identity matrix should peel in one round")
+		}
+		rt.Close()
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

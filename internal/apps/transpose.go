@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/graph"
+	"actorprof/internal/papi"
+)
+
+// Transpose runs the bale "transpose_matrix" kernel as an FA-BSP
+// program: the input sparse matrix is distributed by rows under dist;
+// every PE streams its non-zeros (r, c) to the owner of row c in the
+// transpose, whose handler appends r to the transposed row. Returns
+// this PE's transposed rows, keyed by global row id, each sorted.
+//
+// For the lower-triangular graph input this materializes the
+// upper-triangular half, so g.Symmetrize() is recoverable from the two
+// - which is what the test validates against.
+func Transpose(rt *actor.Runtime, g *graph.Graph, dist graph.Distribution) (map[int64][]int64, error) {
+	pe := rt.PE()
+	if dist.NumPEs() != pe.NumPEs() {
+		return nil, fmt.Errorf("apps: distribution built for %d PEs, world has %d",
+			dist.NumPEs(), pe.NumPEs())
+	}
+	me := pe.Rank()
+	out := make(map[int64][]int64)
+
+	sel, err := actor.NewActor(rt, actor.PairCodec())
+	if err != nil {
+		return nil, fmt.Errorf("apps: transpose selector: %w", err)
+	}
+	sel.Process(0, func(msg actor.Pair, src int) {
+		rt.Work(papi.Work{Ins: 10, LstIns: 4, L1DCM: 1, Cyc: 7})
+		out[msg.A] = append(out[msg.A], msg.B)
+	})
+
+	rows := graph.LocalRows(g, dist, me)
+	rt.Finish(func() {
+		sel.Start()
+		for _, r := range rows {
+			row := g.Row(r)
+			rt.Work(papi.Work{Ins: int64(len(row)) * 3, LstIns: int64(len(row)), Cyc: int64(len(row)) * 2})
+			for _, c := range row {
+				// Non-zero at (r, c) becomes (c, r) in the transpose.
+				sel.Send(0, actor.Pair{A: c, B: r}, dist.Owner(c))
+			}
+		}
+		sel.Done(0)
+	})
+
+	for r := range out {
+		vals := out[r]
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	}
+	pe.Barrier()
+	return out, nil
+}

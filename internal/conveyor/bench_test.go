@@ -1,0 +1,98 @@
+package conveyor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
+)
+
+// benchExchange measures aggregate conveyor throughput: every PE pushes
+// msgs items at rotating destinations and drains to completion.
+func benchExchange(b *testing.B, npes, perNode, bufItems int, topo Topology) {
+	const msgs = 4000
+	b.ReportMetric(float64(npes*msgs), "msgs/op")
+	for i := 0; i < b.N; i++ {
+		err := shmem.Run(shmem.Config{Machine: sim.Machine{NumPEs: npes, PEsPerNode: perNode}},
+			func(pe *shmem.PE) {
+				c, err := New(pe, Options{ItemBytes: 16, BufferItems: bufItems, Topology: topo})
+				if err != nil {
+					panic(err)
+				}
+				drain := func() {
+					for {
+						if _, _, ok := c.Pull(); !ok {
+							return
+						}
+					}
+				}
+				buf := make([]byte, 16)
+				for m := 0; m < msgs; m++ {
+					binary.LittleEndian.PutUint64(buf, uint64(m))
+					dst := (pe.Rank() + m) % npes
+					for !c.Push(buf, dst) {
+						c.Advance(false)
+						drain()
+					}
+				}
+				for c.Advance(true) {
+					drain()
+				}
+				drain()
+				pe.Barrier()
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExchangeLinear16PE(b *testing.B) { benchExchange(b, 16, 16, 64, TopologyAuto) }
+
+func BenchmarkExchangeMesh32PE(b *testing.B) { benchExchange(b, 32, 16, 64, TopologyAuto) }
+
+func BenchmarkExchangeCube64PE(b *testing.B) { benchExchange(b, 64, 4, 64, TopologyCube) }
+
+func BenchmarkExchangeBufferSizes(b *testing.B) {
+	for _, items := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			benchExchange(b, 16, 8, items, TopologyAuto)
+		})
+	}
+}
+
+func BenchmarkPushPullLocal(b *testing.B) {
+	// Single-PE push/pull round trip cost (self-sends through the full
+	// buffer path).
+	err := shmem.Run(shmem.Config{Machine: sim.Machine{NumPEs: 1, PEsPerNode: 1}},
+		func(pe *shmem.PE) {
+			c, err := New(pe, Options{ItemBytes: 8, BufferItems: 64})
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !c.Push(buf, 0) {
+					c.Advance(false)
+					for {
+						if _, _, ok := c.Pull(); !ok {
+							break
+						}
+					}
+				}
+			}
+			for c.Advance(true) {
+				for {
+					if _, _, ok := c.Pull(); !ok {
+						break
+					}
+				}
+			}
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package conveyor reimplements the bale Conveyors message-aggregation
+// library on top of the simulated OpenSHMEM runtime.
+//
+// A Conveyor moves fixed-size items between PEs with automatic
+// aggregation: items pushed toward the same next hop accumulate in a
+// per-destination buffer, and whole buffers travel through double-buffered
+// landing zones in the symmetric heap. On a single node the topology is
+// 1D linear (every pair of PEs exchanges directly, via shared-memory
+// copies). On multiple nodes the topology is a 2D mesh: a PE first
+// forwards an item along its *row* (the PEs of its own node) to the PE
+// whose local rank matches the destination's, using an intra-node
+// local_send; that PE then forwards along its *column* (the PEs with the
+// same local rank on every node) with an inter-node non-blocking put.
+// This is the multi-hop, memory-frugal routing scheme the paper
+// describes, and it is what gives the physical-trace heatmaps of
+// Figures 8-9 their row/column structure.
+//
+// The three transfer mechanisms the paper instruments exist here with the
+// same names and the same meaning:
+//
+//   - local_send: an intra-node buffer handoff performed with memcpy
+//     through shmem_ptr.
+//   - nonblock_send: the shmem_putmem_nbi that streams an aggregated
+//     buffer to a remote node.
+//   - nonblock_progress: the shmem_quiet that completes outstanding
+//     non-blocking puts, followed by a small blocking shmem_put that
+//     signals the destination.
+//
+// Self-sends deliberately take the full path (buffering, transfer,
+// landing zone, delivery) rather than a shortcut; see the paper's
+// "Note for self-sends" in Section IV-D.
+package conveyor
+
+import (
+	"fmt"
+
+	"actorprof/internal/shmem"
+)
+
+// SendKind classifies a physical transfer for the physical trace.
+type SendKind int
+
+// The physical send types traced by ActorProf (paper Section III-C).
+const (
+	LocalSend SendKind = iota
+	NonblockSend
+	NonblockProgress
+)
+
+// String returns the paper's spelling of the send type.
+func (k SendKind) String() string {
+	switch k {
+	case LocalSend:
+		return "local_send"
+	case NonblockSend:
+		return "nonblock_send"
+	case NonblockProgress:
+		return "nonblock_progress"
+	default:
+		return fmt.Sprintf("SendKind(%d)", int(k))
+	}
+}
+
+// Options configures a Conveyor.
+type Options struct {
+	// ItemBytes is the fixed payload size of every item. Required, > 0.
+	ItemBytes int
+	// BufferItems is the aggregation buffer capacity in items.
+	// Default 64.
+	BufferItems int
+	// Topology selects the routing scheme (default TopologyAuto:
+	// 1D Linear on one node, 2D Mesh on 2-3 nodes, 3D Cube beyond).
+	Topology Topology
+	// OnPhysical, when non-nil, receives one callback per physical
+	// transfer event: the hook ActorProf's physical trace attaches to.
+	// src and dst are the hop endpoints (not the original endpoints).
+	OnPhysical func(kind SendKind, bufBytes, src, dst int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferItems == 0 {
+		o.BufferItems = 64
+	}
+	return o
+}
+
+// Stats counts a conveyor's activity, for tests and the profiler.
+type Stats struct {
+	Pushed        int64 // items accepted from the application
+	Delivered     int64 // items that reached their final PE's pull queue
+	Pulled        int64 // items handed to the application
+	Routed        int64 // items forwarded at an intermediate mesh hop
+	LocalBuffers  int64 // buffers moved by local_send
+	RemoteBuffers int64 // buffers moved by nonblock_send
+	Quiets        int64 // nonblock_progress events (quiet+signal)
+	Advances      int64 // calls to Advance
+}
+
+// header layout per item, prepended to the payload while in transit.
+const (
+	hdrOrig  = 0 // original source PE (uint32)
+	hdrDst   = 4 // final destination PE (uint32)
+	hdrBytes = 8
+)
+
+// Channel/landing-zone layout. Each directed pair (src -> dst) has a
+// landing zone in dst's symmetric heap and an ack word in src's heap.
+//
+// Landing zone (per incoming src):
+//
+//	seq   int64                      buffers signaled so far
+//	slot0 int64 length + data bytes
+//	slot1 int64 length + data bytes
+//
+// Ack word (per outgoing dst, in the *sender's* heap): buffers consumed.
+const slots = 2
+
+// Conveyor is the per-PE handle. Create one on every PE with New (a
+// collective), then Push/Pull/Advance from the owning PE only.
+type Conveyor struct {
+	pe   *shmem.PE
+	opts Options
+
+	itemBytes int // payload
+	wireBytes int // payload + header
+	bufItems  int
+	slotBytes int // 8 (length) + bufItems*wireBytes
+	chanBytes int // 8 (seq) + slots*slotBytes
+
+	inBase  int // heap offset of my landing zones, indexed by src PE
+	ackBase int // heap offset of my ack words, indexed by dst PE
+
+	// Next-hop aggregation buffers, indexed by hop target PE. Only the
+	// legal hop targets (row+column in mesh mode) are non-nil.
+	out []*outBuf
+
+	// consumed[src] counts buffers consumed from src's channel.
+	consumed []int64
+
+	// pull queue of items delivered to this PE: flat item payloads plus
+	// their original sources.
+	pullQ   [][]byte
+	pullSrc []int
+	// unpulled holds an item returned by Unpull, delivered again first.
+	unpulledItem []byte
+	unpulledSrc  int
+	hasUnpulled  bool
+
+	// routeBacklog holds mesh items that arrived for forwarding while
+	// the outgoing buffer toward their next hop was full and both
+	// landing slots were unconsumed. Blocking inside receive processing
+	// would deadlock (two column peers can each wait for the other's
+	// ack), so forwarding parks here and Advance retries.
+	routeBacklog []routedItem
+
+	done     bool
+	complete bool
+
+	board *board // shared termination board
+	stats Stats
+
+	topo  topology
+	peers []int // legal hop targets (sorted), for iteration
+}
+
+type outBuf struct {
+	target  int
+	items   []byte // aggregated wire-format items
+	n       int    // item count
+	sentSeq int64  // buffers sent on this channel
+}
+
+// New creates a conveyor across all PEs. It is a collective: every PE
+// must call it with identical options. The returned handle is bound to
+// the calling PE.
+func New(pe *shmem.PE, opts Options) (*Conveyor, error) {
+	opts = opts.withDefaults()
+	if opts.ItemBytes <= 0 {
+		return nil, fmt.Errorf("conveyor: ItemBytes must be positive, got %d", opts.ItemBytes)
+	}
+	if opts.BufferItems <= 0 {
+		return nil, fmt.Errorf("conveyor: BufferItems must be positive, got %d", opts.BufferItems)
+	}
+	npes := pe.NumPEs()
+	topo, err := resolveTopology(opts.Topology, pe.World().Machine())
+	if err != nil {
+		return nil, err
+	}
+	c := &Conveyor{
+		pe:        pe,
+		opts:      opts,
+		itemBytes: opts.ItemBytes,
+		wireBytes: opts.ItemBytes + hdrBytes,
+		bufItems:  opts.BufferItems,
+		consumed:  make([]int64, npes),
+		out:       make([]*outBuf, npes),
+		topo:      topo,
+	}
+	c.slotBytes = 8 + c.bufItems*c.wireBytes
+	c.chanBytes = 8 + slots*c.slotBytes
+
+	// Symmetric allocation: landing zones for every potential source and
+	// ack words for every potential destination. (Real Conveyors
+	// allocates only row+column channels; the full matrix costs a little
+	// simulated memory and keeps indexing trivial.)
+	c.inBase = pe.Malloc(npes * c.chanBytes)
+	c.ackBase = pe.Malloc(npes * 8)
+
+	for _, t := range topo.targets(pe.Rank()) {
+		c.out[t] = &outBuf{target: t, items: make([]byte, 0, c.bufItems*c.wireBytes)}
+		c.peers = append(c.peers, t)
+	}
+	c.board = boardFor(c)
+	// Collective sanity check: every PE must construct the conveyor
+	// with identical options, or the symmetric channel layout (and the
+	// routing!) silently diverges. Real Conveyors trusts the program;
+	// the simulation can afford to verify.
+	sig := int64(c.itemBytes)<<40 | int64(c.bufItems)<<16 | int64(c.topo.kind())
+	// Both reductions must run on every PE before anyone bails, or the
+	// mismatching PEs would leave the others stuck in the collective.
+	mx := pe.AllReduceInt64(shmem.OpMax, sig)
+	mn := pe.AllReduceInt64(shmem.OpMin, sig)
+	if mx != mn {
+		return nil, fmt.Errorf("conveyor: collective option mismatch: PE %d has signature %d, cluster range [%d, %d]",
+			pe.Rank(), sig, mn, mx)
+	}
+	return c, nil
+}
+
+// Topology returns the routing scheme in effect.
+func (c *Conveyor) Topology() Topology { return c.topo.kind() }
+
+// nextHop returns the next hop PE for an item whose final destination is
+// dst.
+func (c *Conveyor) nextHop(dst int) int {
+	if dst == c.pe.Rank() {
+		return dst // self-sends take one full local hop (no bypass)
+	}
+	return c.topo.nextHop(c.pe.Rank(), dst)
+}
+
+// Stats returns a snapshot of the conveyor's counters.
+func (c *Conveyor) Stats() Stats { return c.stats }
+
+// Complete reports whether the conveyor has terminated: every PE called
+// Advance with done=true and every pushed item has been delivered.
+func (c *Conveyor) Complete() bool { return c.complete }
+
+// ItemBytes returns the fixed payload size.
+func (c *Conveyor) ItemBytes() int { return c.itemBytes }

@@ -1,0 +1,229 @@
+package conveyor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"actorprof/internal/shmem"
+)
+
+// elasticExchange runs a full elastic session; each PE sends the given
+// byte-slices (round-robin destinations) and returns what every PE
+// received, keyed by source.
+func elasticExchange(t *testing.T, npes, perNode int, opts ElasticOptions,
+	itemsOf func(pe int) ([][]byte, []int)) [][]string {
+	t.Helper()
+	recv := make([][]string, npes)
+	var mu sync.Mutex
+	err := shmem.Run(cfg(npes, perNode), func(pe *shmem.PE) {
+		e, err := NewElastic(pe, opts)
+		if err != nil {
+			panic(err)
+		}
+		var mine []string
+		drain := func() {
+			for {
+				item, src, ok := e.EPull()
+				if !ok {
+					return
+				}
+				mine = append(mine, fmt.Sprintf("%d:%s", src, item))
+			}
+		}
+		items, dsts := itemsOf(pe.Rank())
+		for i, item := range items {
+			for !e.EPush(item, dsts[i]) {
+				e.EAdvance(false)
+				drain()
+			}
+		}
+		for e.EAdvance(true) {
+			drain()
+			if e.c.Complete() {
+				break
+			}
+		}
+		drain()
+		mu.Lock()
+		recv[pe.Rank()] = mine
+		mu.Unlock()
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recv
+}
+
+func TestElasticVariableSizes(t *testing.T) {
+	const npes = 4
+	sizes := []int{0, 1, 3, 59, 60, 61, 150, 500}
+	recv := elasticExchange(t, npes, 2,
+		ElasticOptions{MaxItemBytes: 512, CellBytes: 64, BufferItems: 16},
+		func(pe int) ([][]byte, []int) {
+			var items [][]byte
+			var dsts []int
+			for i, sz := range sizes {
+				item := make([]byte, sz)
+				for k := range item {
+					item[k] = byte('a' + (pe+i+k)%26)
+				}
+				items = append(items, item)
+				dsts = append(dsts, (pe+i)%npes)
+			}
+			return items, dsts
+		})
+	total := 0
+	for pe := 0; pe < npes; pe++ {
+		total += len(recv[pe])
+	}
+	if total != npes*len(sizes) {
+		t.Fatalf("delivered %d items, want %d", total, npes*len(sizes))
+	}
+	// Reconstruct expectations: the item (pe,i) goes to (pe+i)%npes.
+	want := map[string]bool{}
+	for pe := 0; pe < npes; pe++ {
+		for i, sz := range sizes {
+			item := make([]byte, sz)
+			for k := range item {
+				item[k] = byte('a' + (pe+i+k)%26)
+			}
+			want[fmt.Sprintf("%d|%d:%s", (pe+i)%npes, pe, item)] = true
+		}
+	}
+	for pe := 0; pe < npes; pe++ {
+		for _, got := range recv[pe] {
+			key := fmt.Sprintf("%d|%s", pe, got)
+			if !want[key] {
+				t.Fatalf("unexpected delivery %q at PE %d", got, pe)
+			}
+			delete(want, key)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("%d items never delivered", len(want))
+	}
+}
+
+func TestElasticAcrossNodes(t *testing.T) {
+	// Items larger than one cell crossing the mesh (fragments must stay
+	// ordered per pair through the intermediate hop).
+	const npes, perNode = 8, 4
+	big := make([]byte, 300)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	recv := elasticExchange(t, npes, perNode,
+		ElasticOptions{MaxItemBytes: 512, CellBytes: 32, BufferItems: 32},
+		func(pe int) ([][]byte, []int) {
+			// Everyone sends the big item to the diagonally opposite PE
+			// (guaranteed inter-node, usually two-hop).
+			return [][]byte{big}, []int{(pe + perNode + 1) % npes}
+		})
+	for pe := 0; pe < npes; pe++ {
+		if len(recv[pe]) != 1 {
+			t.Fatalf("PE %d received %d items, want 1", pe, len(recv[pe]))
+		}
+		wantSrc := (pe - perNode - 1 + npes) % npes
+		want := fmt.Sprintf("%d:%s", wantSrc, big)
+		if recv[pe][0] != want {
+			t.Fatalf("PE %d item corrupted in transit", pe)
+		}
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	err := shmem.Run(cfg(2, 2), func(pe *shmem.PE) {
+		if _, err := NewElastic(pe, ElasticOptions{MaxItemBytes: 0}); err == nil {
+			panic("expected MaxItemBytes error")
+		}
+		if _, err := NewElastic(pe, ElasticOptions{MaxItemBytes: 10, CellBytes: 4}); err == nil {
+			panic("expected CellBytes error")
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElasticOversizedPushPanics(t *testing.T) {
+	err := shmem.Run(cfg(2, 2), func(pe *shmem.PE) {
+		e, err := NewElastic(pe, ElasticOptions{MaxItemBytes: 16, CellBytes: 16})
+		if err != nil {
+			panic(err)
+		}
+		defer func() {
+			if recover() == nil {
+				panic("oversized EPush should panic")
+			}
+			pe.Barrier()
+		}()
+		e.EPush(make([]byte, 17), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElasticManyItemsStress(t *testing.T) {
+	const npes, per = 4, 200
+	counts := make([]int, npes)
+	var mu sync.Mutex
+	err := shmem.Run(cfg(npes, 2), func(pe *shmem.PE) {
+		e, err := NewElastic(pe, ElasticOptions{MaxItemBytes: 128, CellBytes: 24, BufferItems: 16})
+		if err != nil {
+			panic(err)
+		}
+		got := 0
+		drain := func() {
+			for {
+				item, src, ok := e.EPull()
+				if !ok {
+					return
+				}
+				// Item content encodes its own length for verification.
+				if len(item) > 0 && int(item[0]) != len(item)%256 {
+					panic(fmt.Sprintf("corrupt item from %d", src))
+				}
+				got++
+			}
+		}
+		rng := uint64(pe.Rank()*7919 + 3)
+		for i := 0; i < per; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			sz := int(rng>>40) % 120
+			item := make([]byte, sz)
+			if sz > 0 {
+				item[0] = byte(sz % 256)
+			}
+			dst := int(rng>>20) % npes
+			for !e.EPush(item, dst) {
+				e.EAdvance(false)
+				drain()
+			}
+		}
+		for e.EAdvance(true) {
+			drain()
+			if e.c.Complete() {
+				break
+			}
+		}
+		drain()
+		mu.Lock()
+		counts[pe.Rank()] = got
+		mu.Unlock()
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != npes*per {
+		t.Fatalf("delivered %d items, want %d", total, npes*per)
+	}
+}

@@ -1,0 +1,330 @@
+package conveyor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// board is the shared termination-detection state of one conveyor
+// instance across all PEs. In a real Conveyors run this bookkeeping rides
+// on the aggregated buffers themselves; the simulation keeps it as plain
+// shared counters, which changes no observable trace event.
+type board struct {
+	pushed    atomic.Int64 // items accepted from applications, all PEs
+	delivered atomic.Int64 // items placed in final pull queues, all PEs
+	donePEs   atomic.Int64 // PEs that have called Advance(done=true)
+}
+
+type boardKey struct{ inBase int }
+
+func boardFor(c *Conveyor) *board {
+	return c.pe.World().Shared(boardKey{c.inBase}, func() any { return &board{} }).(*board)
+}
+
+// Push offers one item for delivery to PE dst. It returns false when the
+// aggregation buffer toward the next hop is full and could not be flushed
+// immediately; the caller must call Advance and retry, which is the
+// standard Conveyors idiom:
+//
+//	for !c.Push(item, dst) {
+//		c.Advance(false)
+//	}
+//
+// Push panics if the conveyor is already done or complete, or if the item
+// size does not match ItemBytes.
+func (c *Conveyor) Push(item []byte, dst int) bool {
+	if len(item) != c.itemBytes {
+		panic(fmt.Sprintf("conveyor: Push item of %d bytes, want %d", len(item), c.itemBytes))
+	}
+	if c.done {
+		panic("conveyor: Push after Advance(done=true)")
+	}
+	if dst < 0 || dst >= c.pe.NumPEs() {
+		panic(fmt.Sprintf("conveyor: Push to invalid PE %d", dst))
+	}
+	hop := c.nextHop(dst)
+	ob := c.out[hop]
+	if ob.n >= c.bufItems {
+		// Never transfer from inside Push: the append is MAIN-segment
+		// user work in the FA-BSP attribution, while buffer transfers
+		// are communication. The caller's Advance loop (COMM) flushes.
+		return false
+	}
+	c.appendItem(ob, c.pe.Rank(), dst, item)
+	c.stats.Pushed++
+	c.board.pushed.Add(1)
+	return true
+}
+
+// appendItem adds one wire-format item to an outgoing buffer.
+func (c *Conveyor) appendItem(ob *outBuf, orig, dst int, payload []byte) {
+	var hdr [hdrBytes]byte
+	binary.LittleEndian.PutUint32(hdr[hdrOrig:], uint32(orig))
+	binary.LittleEndian.PutUint32(hdr[hdrDst:], uint32(dst))
+	ob.items = append(ob.items, hdr[:]...)
+	ob.items = append(ob.items, payload...)
+	ob.n++
+}
+
+// Pull returns the next delivered item: its payload, the original source
+// PE, and ok=false when the pull queue is empty. The returned slice is
+// owned by the caller.
+func (c *Conveyor) Pull() (item []byte, src int, ok bool) {
+	if c.hasUnpulled {
+		c.hasUnpulled = false
+		return c.unpulledItem, c.unpulledSrc, true
+	}
+	if len(c.pullQ) == 0 {
+		return nil, 0, false
+	}
+	item, src = c.pullQ[0], c.pullSrc[0]
+	c.pullQ[0] = nil
+	c.pullQ = c.pullQ[1:]
+	c.pullSrc = c.pullSrc[1:]
+	c.stats.Pulled++
+	return item, src, true
+}
+
+// Unpull returns the most recently pulled item to the front of the queue
+// (convey_unpull). Only one item may be outstanding.
+func (c *Conveyor) Unpull(item []byte, src int) {
+	if c.hasUnpulled {
+		panic("conveyor: double Unpull")
+	}
+	c.unpulledItem, c.unpulledSrc, c.hasUnpulled = item, src, true
+	c.stats.Pulled--
+}
+
+// PendingPulls returns the number of items waiting in the pull queue.
+func (c *Conveyor) PendingPulls() int {
+	n := len(c.pullQ)
+	if c.hasUnpulled {
+		n++
+	}
+	return n
+}
+
+// Advance makes communication progress: it receives incoming buffers
+// (delivering or re-routing their items), flushes outgoing buffers that
+// are full - or non-empty once this PE is done - and checks for global
+// termination. done=true declares that this PE will push no more items.
+// Advance returns false once the conveyor is complete (the convey_advance
+// convention); the caller should still drain Pull.
+func (c *Conveyor) Advance(done bool) bool {
+	if c.complete {
+		return false
+	}
+	c.stats.Advances++
+	// Note: no charge per poll. Poll counts depend on goroutine
+	// scheduling; charging them would make Virtual-mode clocks
+	// nondeterministic. Idle waiting is accounted at barrier clock
+	// synchronization instead.
+	if done && !c.done {
+		c.done = true
+		c.board.donePEs.Add(1)
+	}
+
+	c.drainBacklog()
+	c.receive()
+	c.drainBacklog()
+	c.flush(c.done)
+
+	if c.done &&
+		len(c.routeBacklog) == 0 &&
+		c.board.donePEs.Load() == int64(c.pe.NumPEs()) &&
+		c.outEmpty() &&
+		c.board.pushed.Load() == c.board.delivered.Load() {
+		// All PEs are done, nothing is buffered here, and every pushed
+		// item has reached a final pull queue, so nothing is in flight
+		// anywhere: terminate.
+		c.complete = true
+		return false
+	}
+	c.pe.Yield()
+	return true
+}
+
+func (c *Conveyor) outEmpty() bool {
+	for _, t := range c.peers {
+		ob := c.out[t]
+		if ob.n > 0 {
+			return false
+		}
+		if ob.sentSeq > c.ackOf(t) {
+			return false // transfers not yet consumed by the receiver
+		}
+	}
+	return true
+}
+
+// ackOf reads the ack word (buffers consumed by PE t) from this PE's own
+// heap, where the receiver deposits it.
+func (c *Conveyor) ackOf(t int) int64 {
+	return c.pe.LoadInt64(c.pe.Rank(), c.ackBase+t*8)
+}
+
+// tryTransfer attempts to move ob's aggregated buffer to its target's
+// landing zone. Returns false when both landing slots are still
+// unconsumed (double-buffer window full).
+func (c *Conveyor) tryTransfer(ob *outBuf) bool {
+	if ob.n == 0 {
+		return true
+	}
+	if ob.sentSeq-c.ackOf(ob.target) >= slots {
+		return false
+	}
+	c.transfer(ob)
+	return true
+}
+
+// transfer unconditionally ships ob's buffer (caller checked the window).
+func (c *Conveyor) transfer(ob *outBuf) {
+	me := c.pe.Rank()
+	slot := int(ob.sentSeq % slots)
+	// Landing zone of channel me->target lives in target's heap.
+	zone := c.inBase + me*c.chanBytes
+	slotOff := zone + 8 + slot*c.slotBytes
+	payload := ob.items
+
+	var lenWord [8]byte
+	binary.LittleEndian.PutUint64(lenWord[:], uint64(ob.n))
+
+	if c.pe.SameNode(ob.target) {
+		// local_send: memcpy through shmem_ptr, then the length word,
+		// then the sequence signal - plain stores within the node.
+		c.pe.CopyLocal(ob.target, slotOff+8, payload)
+		c.pe.CopyLocal(ob.target, slotOff, lenWord[:])
+		var seqWord [8]byte
+		binary.LittleEndian.PutUint64(seqWord[:], uint64(ob.sentSeq+1))
+		c.pe.CopyLocal(ob.target, zone, seqWord[:])
+		c.stats.LocalBuffers++
+		c.emitPhysical(LocalSend, len(payload), me, ob.target)
+	} else {
+		// nonblock_send: stream the buffer with shmem_putmem_nbi.
+		c.pe.PutNBI(ob.target, slotOff+8, payload)
+		c.pe.PutNBI(ob.target, slotOff, lenWord[:])
+		c.stats.RemoteBuffers++
+		c.emitPhysical(NonblockSend, len(payload), me, ob.target)
+		// nonblock_progress: shmem_quiet to complete the puts, then a
+		// blocking shmem_put of the sequence word to signal arrival.
+		c.pe.Quiet()
+		c.pe.PutInt64(ob.target, zone, ob.sentSeq+1)
+		c.stats.Quiets++
+		c.emitPhysical(NonblockProgress, len(payload), me, ob.target)
+	}
+	ob.sentSeq++
+	ob.items = ob.items[:0]
+	ob.n = 0
+}
+
+// flush ships every full buffer, and - in the endgame, once this PE is
+// done - every non-empty buffer.
+func (c *Conveyor) flush(endgame bool) {
+	for _, t := range c.peers {
+		ob := c.out[t]
+		if ob.n >= c.bufItems || (endgame && ob.n > 0) {
+			c.tryTransfer(ob)
+		}
+	}
+}
+
+// receive drains every incoming channel whose sequence word is ahead of
+// what we have consumed, delivering items addressed to this PE and
+// re-routing mesh items addressed elsewhere.
+func (c *Conveyor) receive() {
+	me := c.pe.Rank()
+	for src := 0; src < c.pe.NumPEs(); src++ {
+		zone := c.inBase + src*c.chanBytes
+		seq := c.pe.LoadInt64(me, zone)
+		for c.consumed[src] < seq {
+			slot := int(c.consumed[src] % slots)
+			slotOff := zone + 8 + slot*c.slotBytes
+			n := int(c.pe.LoadInt64(me, slotOff))
+			buf := make([]byte, n*c.wireBytes)
+			c.pe.LoadBytesLocal(slotOff+8, buf)
+			c.consumed[src]++
+			// Ack before processing: the sender may refill this slot's
+			// partner immediately, but not this slot until the next ack.
+			c.pe.PutInt64(src, c.ackBase+me*8, c.consumed[src])
+			c.ingest(buf, n)
+		}
+	}
+}
+
+// ingest delivers or re-routes the items of one received buffer.
+func (c *Conveyor) ingest(buf []byte, n int) {
+	me := c.pe.Rank()
+	c.pe.Charge(int64(n) * c.pe.World().Cost().ItemIngestCycles)
+	for i := 0; i < n; i++ {
+		rec := buf[i*c.wireBytes : (i+1)*c.wireBytes]
+		orig := int(binary.LittleEndian.Uint32(rec[hdrOrig:]))
+		dst := int(binary.LittleEndian.Uint32(rec[hdrDst:]))
+		payload := rec[hdrBytes:]
+		if dst == me {
+			item := make([]byte, c.itemBytes)
+			copy(item, payload)
+			c.pullQ = append(c.pullQ, item)
+			c.pullSrc = append(c.pullSrc, orig)
+			c.stats.Delivered++
+			c.board.delivered.Add(1)
+			continue
+		}
+		// Intermediate mesh hop: forward along our column. Never block
+		// here - if the buffer toward the hop is full and both landing
+		// slots are unconsumed, park the item in the backlog; blocking
+		// inside receive processing can deadlock two column peers that
+		// are each waiting for the other's ack.
+		hop := c.nextHop(dst)
+		ob := c.out[hop]
+		if len(c.routeBacklog) > 0 || (ob.n >= c.bufItems && !c.tryTransfer(ob)) {
+			// Preserve per-pair ordering: once anything is backlogged,
+			// all further forwards queue behind it.
+			p := make([]byte, c.itemBytes)
+			copy(p, payload)
+			c.routeBacklog = append(c.routeBacklog, routedItem{orig: orig, dst: dst, payload: p})
+			continue
+		}
+		c.appendItem(ob, orig, dst, payload)
+		c.stats.Routed++
+	}
+}
+
+// routedItem is a mesh item awaiting forwarding capacity.
+type routedItem struct {
+	orig, dst int
+	payload   []byte
+}
+
+// drainBacklog retries parked forwards, preserving order per next hop: a
+// hop that rejects an item blocks all later items for that hop in this
+// pass, but other hops keep flowing.
+func (c *Conveyor) drainBacklog() {
+	if len(c.routeBacklog) == 0 {
+		return
+	}
+	blocked := make(map[int]bool)
+	remaining := c.routeBacklog[:0]
+	for _, it := range c.routeBacklog {
+		hop := c.nextHop(it.dst)
+		if blocked[hop] {
+			remaining = append(remaining, it)
+			continue
+		}
+		ob := c.out[hop]
+		if ob.n >= c.bufItems && !c.tryTransfer(ob) {
+			blocked[hop] = true
+			remaining = append(remaining, it)
+			continue
+		}
+		c.appendItem(ob, it.orig, it.dst, it.payload)
+		c.stats.Routed++
+	}
+	c.routeBacklog = remaining
+}
+
+func (c *Conveyor) emitPhysical(kind SendKind, bufBytes, src, dst int) {
+	if c.opts.OnPhysical != nil {
+		c.opts.OnPhysical(kind, bufBytes, src, dst)
+	}
+}

@@ -1,0 +1,213 @@
+package conveyor
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
+)
+
+func TestResolveTopologyAuto(t *testing.T) {
+	cases := []struct {
+		npes, perNode int
+		want          Topology
+	}{
+		{16, 16, TopologyLinear},
+		{32, 16, TopologyMesh},
+		{12, 4, TopologyMesh}, // 3 nodes
+		{16, 4, TopologyCube}, // 4 nodes -> 2x2 grid
+		{36, 4, TopologyCube}, // 9 nodes -> 3x3 grid
+	}
+	for _, tc := range cases {
+		topo, err := resolveTopology(TopologyAuto, sim.Machine{NumPEs: tc.npes, PEsPerNode: tc.perNode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.kind() != tc.want {
+			t.Errorf("%d PEs / %d per node: %v, want %v", tc.npes, tc.perNode, topo.kind(), tc.want)
+		}
+	}
+	// A prime node count has only a 1xN grid; Cube degenerates to Mesh.
+	topo, err := resolveTopology(TopologyAuto, sim.Machine{NumPEs: 20, PEsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.kind() != TopologyMesh {
+		t.Errorf("prime node count should fall back to mesh, got %v", topo.kind())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	cases := map[int][2]int{
+		4: {2, 2}, 6: {2, 3}, 9: {3, 3}, 12: {3, 4}, 8: {2, 4}, 5: {1, 5}, 16: {4, 4},
+	}
+	for n, want := range cases {
+		r, c := gridShape(n)
+		if r != want[0] || c != want[1] {
+			t.Errorf("gridShape(%d) = %dx%d, want %dx%d", n, r, c, want[0], want[1])
+		}
+		if r*c != n {
+			t.Errorf("gridShape(%d) does not tile: %dx%d", n, r, c)
+		}
+	}
+}
+
+// TestRoutesTerminateProperty: for every topology and every (src, dst)
+// pair, repeatedly applying nextHop reaches dst within 3 hops and every
+// hop is a legal target of its hop source.
+func TestRoutesTerminateProperty(t *testing.T) {
+	machines := []sim.Machine{
+		{NumPEs: 8, PEsPerNode: 8},
+		{NumPEs: 8, PEsPerNode: 4},
+		{NumPEs: 16, PEsPerNode: 4}, // cube 2x2
+		{NumPEs: 36, PEsPerNode: 4}, // cube 3x3
+		{NumPEs: 24, PEsPerNode: 2}, // cube 3x4 (12 nodes)
+	}
+	for _, m := range machines {
+		topo, err := resolveTopology(TopologyAuto, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legal := make(map[int]map[int]bool)
+		for pe := 0; pe < m.NumPEs; pe++ {
+			legal[pe] = map[int]bool{}
+			for _, tg := range topo.targets(pe) {
+				legal[pe][tg] = true
+			}
+		}
+		for src := 0; src < m.NumPEs; src++ {
+			for dst := 0; dst < m.NumPEs; dst++ {
+				cur, hops := src, 0
+				for cur != dst {
+					next := topo.nextHop(cur, dst)
+					if !legal[cur][next] {
+						t.Fatalf("%v on %+v: hop %d->%d not a legal target (route %d->%d)",
+							topo.kind(), m, cur, next, src, dst)
+					}
+					// Inter-node hops must keep the local rank aligned
+					// with the destination (nonblock sends run down
+					// rank-aligned channels).
+					if !m.SameNode(cur, next) && m.LocalRank(next) != m.LocalRank(dst) {
+						t.Fatalf("%v: remote hop %d->%d not rank-aligned with dst %d",
+							topo.kind(), cur, next, dst)
+					}
+					cur = next
+					hops++
+					if hops > 3 {
+						t.Fatalf("%v on %+v: route %d->%d exceeds 3 hops", topo.kind(), m, src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCubeTargetsAreSparse(t *testing.T) {
+	// Memory frugality: on a 4x4 node grid with 4 PEs per node (64 PEs),
+	// each PE's hop targets are its node (4) + row peers (3) + column
+	// peers (3) = 10, far fewer than 64.
+	m := sim.Machine{NumPEs: 64, PEsPerNode: 4}
+	topo, err := resolveTopology(TopologyCube, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.kind() != TopologyCube {
+		t.Fatalf("got %v", topo.kind())
+	}
+	for pe := 0; pe < m.NumPEs; pe++ {
+		if got := len(topo.targets(pe)); got != 10 {
+			t.Fatalf("PE %d has %d targets, want 10", pe, got)
+		}
+	}
+}
+
+func TestCubeAllToAllExchange(t *testing.T) {
+	// End-to-end correctness over the 3-hop cube: 16 PEs on 4 nodes
+	// (2x2 grid), every PE sends a tagged value to every PE.
+	const npes, perNode = 16, 4
+	recv := make([]map[int64]int, npes)
+	var mu sync.Mutex
+	err := shmem.Run(shmem.Config{Machine: sim.Machine{NumPEs: npes, PEsPerNode: perNode}},
+		func(pe *shmem.PE) {
+			c, err := New(pe, Options{ItemBytes: 8, BufferItems: 3, Topology: TopologyCube})
+			if err != nil {
+				panic(err)
+			}
+			if c.Topology() != TopologyCube {
+				panic("expected cube topology")
+			}
+			mine := map[int64]int{}
+			drain := func() {
+				for {
+					item, src, ok := c.Pull()
+					if !ok {
+						return
+					}
+					mine[int64(binary.LittleEndian.Uint64(item))] = src
+				}
+			}
+			buf := make([]byte, 8)
+			for dst := 0; dst < npes; dst++ {
+				for rep := 0; rep < 2; rep++ {
+					binary.LittleEndian.PutUint64(buf, uint64(pe.Rank()*1000+dst*10+rep))
+					for !c.Push(buf, dst) {
+						c.Advance(false)
+						drain()
+					}
+				}
+			}
+			for c.Advance(true) {
+				drain()
+			}
+			drain()
+			mu.Lock()
+			recv[pe.Rank()] = mine
+			mu.Unlock()
+			pe.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < npes; pe++ {
+		if len(recv[pe]) != npes*2 {
+			t.Fatalf("PE %d received %d items, want %d", pe, len(recv[pe]), npes*2)
+		}
+		for src := 0; src < npes; src++ {
+			for rep := 0; rep < 2; rep++ {
+				v := int64(src*1000 + pe*10 + rep)
+				if gotSrc, ok := recv[pe][v]; !ok || gotSrc != src {
+					t.Fatalf("PE %d missing/mis-sourced %d (src %d, got %d ok=%v)",
+						pe, v, src, gotSrc, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyStringsAndOverride(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		TopologyAuto: "auto", TopologyLinear: "1D Linear",
+		TopologyMesh: "2D Mesh", TopologyCube: "3D Cube",
+	} {
+		if topo.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(topo), topo.String(), want)
+		}
+	}
+	// Explicit linear on a multi-node machine is allowed (everything
+	// goes point to point; inter-node pairs use nonblock sends).
+	m := sim.Machine{NumPEs: 8, PEsPerNode: 4}
+	topo, err := resolveTopology(TopologyLinear, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(srcRaw, dstRaw uint8) bool {
+		src, dst := int(srcRaw)%8, int(dstRaw)%8
+		return topo.nextHop(src, dst) == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package core is ActorProf's public facade: it configures and executes
+// a profiled FA-BSP run end to end (machine model, trace collection,
+// actor runtime per PE), assembles the trace set, and builds the
+// standard visualizations - the programmatic equivalent of compiling an
+// HClib-Actor application with ActorProf's -DENABLE_TRACE /
+// -DENABLE_TCOMM_PROFILING / -DENABLE_TRACE_PHYSICAL macros and then
+// running the visualizer with -l / -lp / -s / -p.
+package core
+
+import (
+	"fmt"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/conveyor"
+	"actorprof/internal/papi"
+	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
+	"actorprof/internal/trace"
+	"actorprof/internal/viz"
+)
+
+// Options configures a profiled run.
+type Options struct {
+	// Machine is the PE/node layout. Required.
+	Machine sim.Machine
+	// Timing selects Virtual (deterministic, default) or Hybrid clocks.
+	Timing sim.TimingMode
+	// Cost overrides the data-movement cost model (default:
+	// sim.DefaultCostModel()).
+	Cost sim.CostModel
+	// Trace selects which ActorProf features are enabled.
+	Trace trace.Config
+	// BufferItems is the conveyor aggregation buffer capacity (default:
+	// the conveyor's own default).
+	BufferItems int
+	// Topology overrides the conveyor routing scheme (default auto:
+	// 1D Linear / 2D Mesh / 3D Cube by node count).
+	Topology conveyor.Topology
+	// Costs overrides the PAPI user-region cost model.
+	Costs papi.CostModel
+	// APIProfile, when non-nil, additionally counts every OpenSHMEM
+	// routine invocation (the pshmem-style interface of paper Section
+	// V-B), including the non-blocking routines conventional profilers
+	// miss.
+	APIProfile *shmem.APIProfile
+}
+
+// App is the SPMD application body, run once per PE with that PE's actor
+// runtime. Returning an error aborts the run.
+type App func(rt *actor.Runtime) error
+
+// Run executes app on every PE under ActorProf instrumentation and
+// returns the assembled trace set.
+func Run(opts Options, app App) (*trace.Set, error) {
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	coll, err := trace.NewCollector(opts.Trace, opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	runErr := shmem.Run(shmem.Config{
+		Machine: opts.Machine,
+		Cost:    opts.Cost,
+		Timing:  opts.Timing,
+		Profile: opts.APIProfile,
+	}, func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{
+			Collector:   coll,
+			Costs:       opts.Costs,
+			BufferItems: opts.BufferItems,
+			Topology:    opts.Topology,
+		})
+		if err := app(rt); err != nil {
+			panic(fmt.Sprintf("core: app failed on PE %d: %v", pe.Rank(), err))
+		}
+		rt.Close()
+		pe.Barrier()
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return coll.Set(), nil
+}
+
+// LogicalHeatmap builds the Figure 3/4 plot (-l): pre-aggregation send
+// counts between every PE pair, with send/recv totals.
+func LogicalHeatmap(set *trace.Set, title string) *viz.Heatmap {
+	return &viz.Heatmap{
+		Title:  title,
+		Cells:  set.LogicalMatrix(),
+		Totals: true,
+	}
+}
+
+// PhysicalHeatmap builds the Figure 8/9 plot (-p): post-aggregation
+// buffer counts between every PE pair.
+func PhysicalHeatmap(set *trace.Set, title string) *viz.Heatmap {
+	return &viz.Heatmap{
+		Title:  title,
+		Cells:  set.PhysicalMatrix(),
+		Totals: true,
+	}
+}
+
+// LogicalViolin builds the Figure 5 plot: quartile violins over per-PE
+// total logical sends and recvs.
+func LogicalViolin(set *trace.Set, title string) *viz.Violin {
+	m := set.LogicalMatrix()
+	return &viz.Violin{
+		Title:  title,
+		YLabel: "messages per PE",
+		Groups: []viz.ViolinGroup{
+			{Label: "sends", Values: toFloats(m.SendTotals())},
+			{Label: "recvs", Values: toFloats(m.RecvTotals())},
+		},
+	}
+}
+
+// PhysicalViolin builds the Figure 7 plot: quartile violins over per-PE
+// total physical buffers sent and received.
+func PhysicalViolin(set *trace.Set, title string) *viz.Violin {
+	m := set.PhysicalMatrix()
+	return &viz.Violin{
+		Title:  title,
+		YLabel: "buffers per PE",
+		Groups: []viz.ViolinGroup{
+			{Label: "sends", Values: toFloats(m.SendTotals())},
+			{Label: "recvs", Values: toFloats(m.RecvTotals())},
+		},
+	}
+}
+
+// PAPIBar builds the Figure 10/11 plot (-lp): one bar per PE with the
+// event's total across the PE's PAPI records.
+func PAPIBar(set *trace.Set, ev papi.Event, title string) *viz.Bar {
+	vals := set.PAPITotalsPerPE(ev)
+	labels := make([]string, len(vals))
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%d", i)
+	}
+	return &viz.Bar{
+		Title:  title,
+		YLabel: ev.String(),
+		Labels: labels,
+		Values: vals,
+	}
+}
+
+// PAPIGroupedBar builds the full -lp plot: every configured PAPI
+// counter (up to four, PAPI's limit) per PE in one grouped bar graph.
+func PAPIGroupedBar(set *trace.Set, title string) *viz.GroupedBar {
+	labels := make([]string, set.NumPEs)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%d", i)
+	}
+	series := make([]viz.Series, 0, len(set.Config.PAPIEvents))
+	for _, ev := range set.Config.PAPIEvents {
+		series = append(series, viz.Series{
+			Name:   ev.String(),
+			Values: set.PAPITotalsPerPE(ev),
+		})
+	}
+	return &viz.GroupedBar{
+		Title:   title,
+		YLabel:  "share of per-series max",
+		Labels:  labels,
+		Series:  series,
+		LogHint: true,
+	}
+}
+
+// NodeHeatmap builds the node-level hotspot heatmap: the physical
+// matrix aggregated over nodes, exposing which node pairs carry the
+// network load.
+func NodeHeatmap(set *trace.Set, title string) *viz.Heatmap {
+	return &viz.Heatmap{
+		Title:    title,
+		Cells:    set.PhysicalMatrix().AggregateNodes(set.PEsPerNode),
+		RowLabel: "src node",
+		ColLabel: "dst node",
+		Totals:   true,
+	}
+}
+
+// OverallStacked builds the Figure 12/13 plot (-s): per-PE stacked
+// MAIN/COMM/PROC cycles, absolute or relative.
+func OverallStacked(set *trace.Set, relative bool, title string) *viz.StackedBar {
+	n := set.NumPEs
+	main := make([]int64, n)
+	comm := make([]int64, n)
+	proc := make([]int64, n)
+	for _, r := range set.Overall {
+		if r.PE < 0 || r.PE >= n {
+			continue
+		}
+		main[r.PE], comm[r.PE], proc[r.PE] = r.TMain, r.TComm, r.TProc
+	}
+	yl := "cycles"
+	if relative {
+		yl = "fraction of T_TOTAL"
+	}
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%d", i)
+	}
+	return &viz.StackedBar{
+		Title:    title,
+		YLabel:   yl,
+		Labels:   labels,
+		Relative: relative,
+		Series: []viz.Series{
+			{Name: "T_MAIN", Values: main},
+			{Name: "T_COMM", Values: comm},
+			{Name: "T_PROC", Values: proc},
+		},
+	}
+}
+
+func toFloats(vals []int64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = float64(v)
+	}
+	return out
+}

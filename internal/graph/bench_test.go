@@ -1,0 +1,68 @@
+package graph
+
+import "testing"
+
+func BenchmarkGenerateRMATScale12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := GenerateRMAT(Graph500(12, 16, uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkCountTrianglesSerial(b *testing.B) {
+	g, err := GenerateRMAT(Graph500(12, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.CountTrianglesSerial() == 0 {
+			b.Fatal("no triangles")
+		}
+	}
+}
+
+func BenchmarkSymmetrize(b *testing.B) {
+	g, err := GenerateRMAT(Graph500(12, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full := g.Symmetrize()
+		if full.NumEdges() != 2*g.NumEdges() {
+			b.Fatal("bad symmetrize")
+		}
+	}
+}
+
+func BenchmarkRangeDistBuild(b *testing.B) {
+	g, err := GenerateRMAT(Graph500(14, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewRangeDist(g, 32)
+		if d.NumPEs() != 32 {
+			b.Fatal("bad dist")
+		}
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g, err := GenerateRMAT(Graph500(12, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(int64(i)%n, int64(i*7)%n)
+	}
+}

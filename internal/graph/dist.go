@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distribution maps matrix rows (vertices) onto PEs. It is the paper's
+// central experimental variable: the case study contrasts 1D Cyclic with
+// 1D Range and shows how ActorProf exposes the resulting load imbalance.
+type Distribution interface {
+	// Owner returns the PE owning row i.
+	Owner(i int64) int
+	// Name identifies the distribution in reports ("1D Cyclic", ...).
+	Name() string
+	// NumPEs returns the PE count the distribution was built for.
+	NumPEs() int
+}
+
+// CyclicDist is 1D Cyclic: row i belongs to PE i mod P. Every PE gets a
+// similar number of *vertices*, but with a power-law graph the number of
+// *edges* per PE can be wildly imbalanced.
+type CyclicDist struct{ P int }
+
+// NewCyclicDist builds a cyclic distribution over p PEs.
+func NewCyclicDist(p int) CyclicDist {
+	if p <= 0 {
+		panic(fmt.Sprintf("graph: distribution needs positive PE count, got %d", p))
+	}
+	return CyclicDist{P: p}
+}
+
+// Owner implements Distribution.
+func (d CyclicDist) Owner(i int64) int { return int(i % int64(d.P)) }
+
+// Name implements Distribution.
+func (d CyclicDist) Name() string { return "1D Cyclic" }
+
+// NumPEs implements Distribution.
+func (d CyclicDist) NumPEs() int { return d.P }
+
+// RangeDist is 1D Range: contiguous row ranges sized so that every PE
+// owns approximately the same number of non-zeros (edges). With a lower
+// triangular matrix this gives the first PEs many short rows and the
+// last PEs few long rows - the structure behind the paper's "(L)
+// observation" (Figure 6).
+type RangeDist struct {
+	// starts[p] is the first row owned by PE p; starts has NumPEs+1
+	// entries with starts[NumPEs] = n.
+	starts []int64
+}
+
+// NewRangeDist splits g's rows into len-balanced-by-nnz contiguous
+// ranges for p PEs.
+func NewRangeDist(g *Graph, p int) RangeDist {
+	if p <= 0 {
+		panic(fmt.Sprintf("graph: distribution needs positive PE count, got %d", p))
+	}
+	n := g.NumVertices()
+	total := g.NumEdges()
+	starts := make([]int64, p+1)
+	starts[p] = n
+	// Walk rows accumulating nnz; cut a boundary every total/p nnz.
+	target := func(k int) int64 { return total * int64(k) / int64(p) }
+	pe := 1
+	var acc int64
+	for i := int64(0); i < n && pe < p; i++ {
+		acc += g.Degree(i)
+		for pe < p && acc >= target(pe) {
+			starts[pe] = i + 1
+			pe++
+		}
+	}
+	for ; pe < p; pe++ {
+		starts[pe] = n
+	}
+	return RangeDist{starts: starts}
+}
+
+// Owner implements Distribution.
+func (d RangeDist) Owner(i int64) int {
+	// First PE whose range starts after i, minus one.
+	k := sort.Search(len(d.starts), func(k int) bool { return d.starts[k] > i })
+	return k - 1
+}
+
+// Name implements Distribution.
+func (d RangeDist) Name() string { return "1D Range" }
+
+// NumPEs implements Distribution.
+func (d RangeDist) NumPEs() int { return len(d.starts) - 1 }
+
+// RangeOf returns the half-open row interval [lo, hi) owned by PE p.
+func (d RangeDist) RangeOf(p int) (lo, hi int64) { return d.starts[p], d.starts[p+1] }
+
+// BlockDist is 1D Block: contiguous equal-sized vertex ranges,
+// disregarding edge counts. It is the extra distribution beyond the
+// paper's two, for the "try more distributions" ablation the case study
+// encourages.
+type BlockDist struct {
+	N int64
+	P int
+}
+
+// NewBlockDist builds a block distribution of n rows over p PEs.
+func NewBlockDist(n int64, p int) BlockDist {
+	if p <= 0 {
+		panic(fmt.Sprintf("graph: distribution needs positive PE count, got %d", p))
+	}
+	return BlockDist{N: n, P: p}
+}
+
+// Owner implements Distribution.
+func (d BlockDist) Owner(i int64) int {
+	// Balanced block sizes (the first n%p blocks get one extra row).
+	per := d.N / int64(d.P)
+	rem := d.N % int64(d.P)
+	cut := rem * (per + 1)
+	if i < cut {
+		return int(i / (per + 1))
+	}
+	if per == 0 {
+		return d.P - 1
+	}
+	return int(rem + (i-cut)/per)
+}
+
+// Name implements Distribution.
+func (d BlockDist) Name() string { return "1D Block" }
+
+// NumPEs implements Distribution.
+func (d BlockDist) NumPEs() int { return d.P }
+
+// LocalRows returns the rows of g owned by PE p under dist, in ascending
+// order.
+func LocalRows(g *Graph, dist Distribution, p int) []int64 {
+	var rows []int64
+	switch d := dist.(type) {
+	case RangeDist:
+		lo, hi := d.RangeOf(p)
+		for i := lo; i < hi; i++ {
+			rows = append(rows, i)
+		}
+	default:
+		for i := int64(0); i < g.NumVertices(); i++ {
+			if dist.Owner(i) == p {
+				rows = append(rows, i)
+			}
+		}
+	}
+	return rows
+}
+
+// EdgesPerPE returns the number of non-zeros owned by each PE: the load
+// metric the 1D Range distribution balances.
+func EdgesPerPE(g *Graph, dist Distribution) []int64 {
+	out := make([]int64, dist.NumPEs())
+	for i := int64(0); i < g.NumVertices(); i++ {
+		out[dist.Owner(i)] += g.Degree(i)
+	}
+	return out
+}
+
+// WedgesPerPE returns, per PE, the number of neighbor pairs of its local
+// rows: the number of messages that PE will send in triangle counting.
+func WedgesPerPE(g *Graph, dist Distribution) []int64 {
+	out := make([]int64, dist.NumPEs())
+	for i := int64(0); i < g.NumVertices(); i++ {
+		d := g.Degree(i)
+		out[dist.Owner(i)] += d * (d - 1) / 2
+	}
+	return out
+}

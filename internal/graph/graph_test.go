@@ -1,0 +1,324 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFromEdgesCanonicalizes(t *testing.T) {
+	g, err := NewFromEdges(5, []Edge{
+		{U: 1, V: 3}, // stored as (3,1)
+		{U: 3, V: 1}, // duplicate of the above
+		{U: 2, V: 2}, // self loop: dropped
+		{U: 4, V: 0}, // already canonical
+		{U: 0, V: 4}, // duplicate
+		{U: 4, V: 3}, // second edge in row 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(3, 1) || !g.HasEdge(4, 0) || !g.HasEdge(4, 3) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(2, 1) {
+		t.Fatal("unexpected edge (2,1)")
+	}
+	if d := g.Degree(4); d != 2 {
+		t.Fatalf("Degree(4) = %d, want 2", d)
+	}
+	row := g.Row(4)
+	if len(row) != 2 || row[0] != 0 || row[1] != 3 {
+		t.Fatalf("Row(4) = %v, want [0 3]", row)
+	}
+}
+
+func TestNewFromEdgesValidates(t *testing.T) {
+	if _, err := NewFromEdges(0, nil); err == nil {
+		t.Fatal("expected error for zero vertices")
+	}
+	if _, err := NewFromEdges(3, []Edge{{U: 3, V: 0}}); err == nil {
+		t.Fatal("expected error for out-of-range vertex")
+	}
+	if _, err := NewFromEdges(3, []Edge{{U: -1, V: 0}}); err == nil {
+		t.Fatal("expected error for negative vertex")
+	}
+}
+
+func TestCountTrianglesKnownGraphs(t *testing.T) {
+	// K4 has 4 triangles.
+	var edges []Edge
+	for u := int64(0); u < 4; u++ {
+		for v := int64(0); v < u; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	g, err := NewFromEdges(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountTrianglesSerial(); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+
+	// A 5-cycle has none.
+	var cyc []Edge
+	for i := int64(0); i < 5; i++ {
+		cyc = append(cyc, Edge{U: i, V: (i + 1) % 5})
+	}
+	g2, err := NewFromEdges(5, cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.CountTrianglesSerial(); got != 0 {
+		t.Fatalf("C5 triangles = %d, want 0", got)
+	}
+}
+
+func TestWedges(t *testing.T) {
+	// Star into vertex 4 (edges 4-0..4-3): row 4 has degree 4, wedges =
+	// 4*3/2 = 6.
+	var edges []Edge
+	for v := int64(0); v < 4; v++ {
+		edges = append(edges, Edge{U: 4, V: v})
+	}
+	g, err := NewFromEdges(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Wedges(); got != 6 {
+		t.Fatalf("Wedges = %d, want 6", got)
+	}
+}
+
+func TestGenerateRMATDeterministic(t *testing.T) {
+	cfg := Graph500(8, 8, 42)
+	g1, err := GenerateRMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GenerateRMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() || g1.NumVertices() != g2.NumVertices() {
+		t.Fatalf("same seed produced different graphs: %d/%d edges",
+			g1.NumEdges(), g2.NumEdges())
+	}
+	for i := int64(0); i < g1.NumVertices(); i++ {
+		if g1.Degree(i) != g2.Degree(i) {
+			t.Fatalf("row %d degree differs", i)
+		}
+	}
+	g3, err := GenerateRMAT(Graph500(8, 8, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g1.NumEdges() == g3.NumEdges()
+	if same {
+		diff := false
+		for i := int64(0); i < g1.NumVertices() && !diff; i++ {
+			diff = g1.Degree(i) != g3.Degree(i)
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateRMATPowerLaw(t *testing.T) {
+	g, err := GenerateRMAT(Graph500(10, 16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R-MAT with A=0.57 skews mass toward low vertex ids; the max degree
+	// should far exceed the mean - the imbalance the case study relies
+	// on.
+	mean := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio := float64(g.MaxDegree()) / mean; ratio < 5 {
+		t.Errorf("max/mean degree = %.2f; expected heavy skew (>5)", ratio)
+	}
+}
+
+func TestGenerateRMATValidation(t *testing.T) {
+	bad := Graph500(10, 16, 1)
+	bad.A = 0.9 // probabilities no longer sum to 1
+	if _, err := GenerateRMAT(bad); err == nil {
+		t.Fatal("expected probability-sum error")
+	}
+	if _, err := GenerateRMAT(Graph500(0, 16, 1)); err == nil {
+		t.Fatal("expected scale error")
+	}
+	if _, err := GenerateRMAT(Graph500(10, 0, 1)); err == nil {
+		t.Fatal("expected edge-factor error")
+	}
+}
+
+func TestCyclicDist(t *testing.T) {
+	d := NewCyclicDist(4)
+	for i := int64(0); i < 20; i++ {
+		if d.Owner(i) != int(i%4) {
+			t.Fatalf("Owner(%d) = %d", i, d.Owner(i))
+		}
+	}
+	if d.Name() != "1D Cyclic" || d.NumPEs() != 4 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestRangeDistBalancesEdges(t *testing.T) {
+	g, err := GenerateRMAT(Graph500(10, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 8
+	rd := NewRangeDist(g, p)
+	edges := EdgesPerPE(g, rd)
+	mean := float64(g.NumEdges()) / p
+
+	cy := NewCyclicDist(p)
+	cyEdges := EdgesPerPE(g, cy)
+
+	maxDev := func(e []int64) float64 {
+		worst := 0.0
+		for _, v := range e {
+			dev := float64(v)/mean - 1
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worst {
+				worst = dev
+			}
+		}
+		return worst
+	}
+	if rdev := maxDev(edges); rdev > 0.5 {
+		t.Errorf("range distribution deviates %.0f%% from the edge mean", rdev*100)
+	}
+	// Sanity: range must balance edges at least as well as cyclic on a
+	// skewed graph.
+	if maxDev(edges) > maxDev(cyEdges) {
+		t.Errorf("range (%.2f) worse than cyclic (%.2f) at edge balance",
+			maxDev(edges), maxDev(cyEdges))
+	}
+}
+
+func TestRangeDistContiguityProperty(t *testing.T) {
+	g, err := GenerateRMAT(Graph500(9, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewRangeDist(g, 6)
+	// Property: owners are monotone nondecreasing in the row index, and
+	// RangeOf tiles [0, n).
+	prev := 0
+	for i := int64(0); i < g.NumVertices(); i++ {
+		o := rd.Owner(i)
+		if o < prev {
+			t.Fatalf("owner decreased at row %d: %d -> %d", i, prev, o)
+		}
+		if o < 0 || o >= 6 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		prev = o
+	}
+	var covered int64
+	for p := 0; p < 6; p++ {
+		lo, hi := rd.RangeOf(p)
+		covered += hi - lo
+		for i := lo; i < hi; i++ {
+			if rd.Owner(i) != p {
+				t.Fatalf("RangeOf(%d)=[%d,%d) but Owner(%d)=%d", p, lo, hi, i, rd.Owner(i))
+			}
+		}
+	}
+	if covered != g.NumVertices() {
+		t.Fatalf("ranges cover %d rows, want %d", covered, g.NumVertices())
+	}
+}
+
+func TestBlockDist(t *testing.T) {
+	d := NewBlockDist(10, 3)
+	// 10 rows over 3 PEs: blocks of 4,3,3.
+	want := []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}
+	for i, w := range want {
+		if got := d.Owner(int64(i)); got != w {
+			t.Fatalf("Owner(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestBlockDistProperty(t *testing.T) {
+	// Property: block owners are monotone, within range, and each PE
+	// owns either floor(n/p) or ceil(n/p) rows.
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int64(nRaw%1000) + 1
+		p := int(pRaw%16) + 1
+		d := NewBlockDist(n, p)
+		counts := make([]int64, p)
+		prev := 0
+		for i := int64(0); i < n; i++ {
+			o := d.Owner(i)
+			if o < prev || o >= p {
+				return false
+			}
+			prev = o
+			counts[o]++
+		}
+		lo, hi := n/int64(p), (n+int64(p)-1)/int64(p)
+		for _, c := range counts {
+			if c != lo && c != hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionPartitionProperty(t *testing.T) {
+	// Property: for every distribution, LocalRows partitions the vertex
+	// set (each row appears exactly once across PEs).
+	g, err := GenerateRMAT(Graph500(8, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 5
+	dists := []Distribution{NewCyclicDist(p), NewRangeDist(g, p), NewBlockDist(g.NumVertices(), p)}
+	for _, d := range dists {
+		seen := make([]bool, g.NumVertices())
+		for pe := 0; pe < p; pe++ {
+			for _, r := range LocalRows(g, d, pe) {
+				if seen[r] {
+					t.Fatalf("%s: row %d owned twice", d.Name(), r)
+				}
+				seen[r] = true
+			}
+		}
+		for r, s := range seen {
+			if !s {
+				t.Fatalf("%s: row %d unowned", d.Name(), r)
+			}
+		}
+	}
+}
+
+func TestWedgesPerPEMatchesTotal(t *testing.T) {
+	g, err := GenerateRMAT(Graph500(9, 12, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Distribution{NewCyclicDist(7), NewRangeDist(g, 7)} {
+		var sum int64
+		for _, w := range WedgesPerPE(g, d) {
+			sum += w
+		}
+		if sum != g.Wedges() {
+			t.Fatalf("%s: wedge sum %d != total %d", d.Name(), sum, g.Wedges())
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a plain text edge list: a header
+// line "# vertices N edges M" followed by one "i j" pair per line (the
+// canonical lower-triangular orientation, i > j).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices %d edges %d\n", g.n, g.NumEdges())
+	for i := int64(0); i < g.n; i++ {
+		for _, j := range g.Row(i) {
+			fmt.Fprintf(bw, "%d %d\n", i, j)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format (and tolerates plain
+// edge lists without the header by growing the vertex count to the
+// largest id seen).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int64 = -1
+	var edges []Edge
+	var maxID int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var hdrN, hdrM int64
+			if _, err := fmt.Sscanf(line, "# vertices %d edges %d", &hdrN, &hdrM); err == nil {
+				n = hdrN
+			}
+			continue
+		}
+		var u, v int64
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	return NewFromEdges(n, edges)
+}

@@ -1,0 +1,93 @@
+package graph
+
+import "fmt"
+
+// RMATConfig parameterizes the recursive-matrix (R-MAT) generator. The
+// paper's case study uses the graph500 standard: scale 16, edge factor
+// 16, A=0.57, B=C=0.19, D=0.05.
+type RMATConfig struct {
+	// Scale: the graph has 2^Scale vertices.
+	Scale int
+	// EdgeFactor: EdgeFactor * 2^Scale undirected edges are sampled
+	// (before dedup and self-loop removal).
+	EdgeFactor int
+	// A, B, C, D are the quadrant probabilities; they must be positive
+	// and sum to ~1.
+	A, B, C, D float64
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+// Graph500 returns the graph500-standard configuration at the given
+// scale and edge factor (A=0.57, B=C=0.19, D=0.05), as used in the paper.
+func Graph500(scale, edgeFactor int, seed uint64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, EdgeFactor: edgeFactor,
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+		Seed: seed,
+	}
+}
+
+// Validate checks the configuration.
+func (c RMATConfig) Validate() error {
+	if c.Scale <= 0 || c.Scale > 30 {
+		return fmt.Errorf("graph: scale %d out of supported range (1..30)", c.Scale)
+	}
+	if c.EdgeFactor <= 0 {
+		return fmt.Errorf("graph: edge factor must be positive, got %d", c.EdgeFactor)
+	}
+	sum := c.A + c.B + c.C + c.D
+	if c.A <= 0 || c.B <= 0 || c.C <= 0 || c.D <= 0 || sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("graph: quadrant probabilities must be positive and sum to 1, got %v+%v+%v+%v=%v",
+			c.A, c.B, c.C, c.D, sum)
+	}
+	return nil
+}
+
+// splitmix64 is a tiny, fast, well-distributed PRNG with a 64-bit state;
+// it keeps graph generation deterministic without depending on
+// math/rand's sequence stability.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+// GenerateRMAT samples an R-MAT graph and returns its lower-triangular
+// CSR. Generation is deterministic in the config (including Seed).
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int64(1) << cfg.Scale
+	m := n * int64(cfg.EdgeFactor)
+	rng := splitmix64{state: cfg.Seed ^ 0x5851f42d4c957f2d}
+	edges := make([]Edge, 0, m)
+	for e := int64(0); e < m; e++ {
+		var u, v int64
+		for level := cfg.Scale - 1; level >= 0; level-- {
+			r := rng.float64()
+			switch {
+			case r < cfg.A:
+				// top-left quadrant: neither bit set
+			case r < cfg.A+cfg.B:
+				v |= 1 << level
+			case r < cfg.A+cfg.B+cfg.C:
+				u |= 1 << level
+			default:
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	return NewFromEdges(n, edges)
+}

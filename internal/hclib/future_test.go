@@ -1,0 +1,85 @@
+package hclib
+
+import "testing"
+
+func TestAsyncFuture(t *testing.T) {
+	c := New()
+	c.Finish(func() {
+		f := AsyncFuture(c, func() int { return 42 })
+		if f.Ready() {
+			t.Error("future ready before any task ran")
+		}
+		if got := f.Wait(); got != 42 {
+			t.Fatalf("Wait = %d, want 42", got)
+		}
+		if !f.Ready() {
+			t.Error("future not ready after Wait")
+		}
+		if got := f.Get(); got != 42 {
+			t.Fatalf("Get = %d", got)
+		}
+	})
+}
+
+func TestFutureChaining(t *testing.T) {
+	c := New()
+	c.Finish(func() {
+		a := AsyncFuture(c, func() int { return 10 })
+		b := AsyncFuture(c, func() int { return a.Wait() * 2 })
+		if got := b.Wait(); got != 20 {
+			t.Fatalf("chained future = %d, want 20", got)
+		}
+	})
+}
+
+func TestPromiseDoublePutPanics(t *testing.T) {
+	c := New()
+	p := NewPromise[string](c)
+	p.Put("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put should panic")
+		}
+	}()
+	p.Put("y")
+}
+
+func TestGetUnfulfilledPanics(t *testing.T) {
+	c := New()
+	p := NewPromise[int](c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on empty promise should panic")
+		}
+	}()
+	p.Get()
+}
+
+func TestWaitWithEmptyQueuePanics(t *testing.T) {
+	c := New()
+	p := NewPromise[int](c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wait that can never complete should panic, not hang")
+		}
+	}()
+	p.Wait()
+}
+
+func TestPromiseFulfilledByLaterTask(t *testing.T) {
+	c := New()
+	c.Finish(func() {
+		p := NewPromise[int](c)
+		for i := 0; i < 5; i++ {
+			i := i
+			c.Async(func() {
+				if i == 3 {
+					p.Put(i)
+				}
+			})
+		}
+		if got := p.Wait(); got != 3 {
+			t.Fatalf("Wait = %d, want 3", got)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Package hclib provides a miniature Habanero-style asynchronous tasking
+// runtime: finish/async scopes with a cooperative, single-threaded task
+// queue per processing element.
+//
+// The real HClib multiplexes lightweight tasks over worker threads; in
+// the FA-BSP configuration used by HClib-Actor each PE is single-threaded
+// and tasks interleave cooperatively. That single-threadedness is a load-
+// bearing property of the programming model - message handlers run one at
+// a time, so user code needs no atomics (paper Listing 2) - and this
+// package preserves it: a Context must only ever be used from one
+// goroutine (the PE's), and Finish drains tasks on that same goroutine.
+package hclib
+
+// Context is a per-PE cooperative scheduler. It is not safe for
+// concurrent use; bind one Context to one PE goroutine.
+type Context struct {
+	queue []*task
+	// scopes is the stack of active finish scopes; Async attributes new
+	// tasks to the innermost one.
+	scopes []*finishScope
+	// executed counts tasks run, for tests and the profiler.
+	executed int64
+}
+
+type task struct {
+	fn    func()
+	scope *finishScope
+}
+
+type finishScope struct {
+	pending int
+}
+
+// New creates an empty scheduler context.
+func New() *Context { return &Context{} }
+
+// Executed returns the total number of tasks this context has run.
+func (c *Context) Executed() int64 { return c.executed }
+
+// Pending returns the number of queued tasks.
+func (c *Context) Pending() int { return len(c.queue) }
+
+// Async schedules fn to run later on this context, attributed to the
+// innermost active finish scope. Calling Async outside any Finish panics:
+// such a task could never be awaited, which in HClib is a programming
+// error caught at teardown.
+func (c *Context) Async(fn func()) {
+	if len(c.scopes) == 0 {
+		panic("hclib: Async called outside a Finish scope")
+	}
+	s := c.scopes[len(c.scopes)-1]
+	s.pending++
+	c.queue = append(c.queue, &task{fn: fn, scope: s})
+}
+
+// Finish runs body, then drains tasks until every task transitively
+// spawned within this scope has completed (hclib::finish). Tasks spawned
+// by tasks are attributed to the scope active when Async is called, so a
+// task that re-schedules itself (the selector progress worker) keeps its
+// finish scope open until it stops re-scheduling.
+func (c *Context) Finish(body func()) {
+	s := &finishScope{}
+	c.scopes = append(c.scopes, s)
+	body()
+	for s.pending > 0 {
+		if !c.runOne() {
+			// Queue empty while tasks are still pending can only mean a
+			// bookkeeping bug; fail loudly rather than spin forever.
+			panic("hclib: finish scope has pending tasks but the queue is empty")
+		}
+	}
+	c.scopes = c.scopes[:len(c.scopes)-1]
+}
+
+// Yield runs at most one queued task, returning whether one ran. Long
+// computations can call Yield to let runtime workers (e.g. the selector
+// progress loop) interleave, which is the "fine-grained asynchronous"
+// half of FA-BSP.
+func (c *Context) Yield() bool { return c.runOne() }
+
+// runOne pops and executes the task at the head of the queue.
+func (c *Context) runOne() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	t := c.queue[0]
+	// Slide rather than re-slice forever so the backing array is reused.
+	copy(c.queue, c.queue[1:])
+	c.queue = c.queue[:len(c.queue)-1]
+	t.fn()
+	t.scope.pending--
+	c.executed++
+	return true
+}

@@ -1,0 +1,134 @@
+package hclib
+
+import "testing"
+
+func TestFinishDrainsTasks(t *testing.T) {
+	c := New()
+	ran := 0
+	c.Finish(func() {
+		for i := 0; i < 10; i++ {
+			c.Async(func() { ran++ })
+		}
+	})
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after finish", c.Pending())
+	}
+}
+
+func TestFinishWaitsForTransitiveTasks(t *testing.T) {
+	c := New()
+	var order []int
+	c.Finish(func() {
+		c.Async(func() {
+			order = append(order, 1)
+			c.Async(func() {
+				order = append(order, 2)
+				c.Async(func() { order = append(order, 3) })
+			})
+		})
+	})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSelfReschedulingWorkerTerminates(t *testing.T) {
+	// The selector progress loop pattern: a task that re-enqueues itself
+	// until a condition holds must keep its finish scope open exactly
+	// that long.
+	c := New()
+	steps := 0
+	var worker func()
+	worker = func() {
+		steps++
+		if steps < 25 {
+			c.Async(worker)
+		}
+	}
+	c.Finish(func() { c.Async(worker) })
+	if steps != 25 {
+		t.Fatalf("worker ran %d times, want 25", steps)
+	}
+}
+
+func TestTasksRunFIFO(t *testing.T) {
+	c := New()
+	var got []int
+	c.Finish(func() {
+		for i := 0; i < 5; i++ {
+			i := i
+			c.Async(func() { got = append(got, i) })
+		}
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want FIFO order", got)
+		}
+	}
+}
+
+func TestNestedFinish(t *testing.T) {
+	c := New()
+	var events []string
+	c.Finish(func() {
+		c.Async(func() { events = append(events, "outer") })
+		c.Finish(func() {
+			c.Async(func() { events = append(events, "inner") })
+		})
+		// The inner finish must have completed its own task before
+		// returning; "inner" must already be present.
+		found := false
+		for _, e := range events {
+			if e == "inner" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("inner finish returned before its task ran")
+		}
+	})
+	if len(events) != 2 {
+		t.Fatalf("events = %v, want 2 entries", events)
+	}
+}
+
+func TestAsyncOutsideFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Async outside Finish should panic")
+		}
+	}()
+	New().Async(func() {})
+}
+
+func TestYield(t *testing.T) {
+	c := New()
+	ran := false
+	c.Finish(func() {
+		c.Async(func() { ran = true })
+		if !c.Yield() {
+			t.Error("Yield should have run a task")
+		}
+		if !ran {
+			t.Error("task did not run during Yield")
+		}
+	})
+	if c.Yield() {
+		t.Error("Yield with empty queue should return false")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	c := New()
+	c.Finish(func() {
+		for i := 0; i < 7; i++ {
+			c.Async(func() {})
+		}
+	})
+	if c.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", c.Executed())
+	}
+}

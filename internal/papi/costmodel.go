@@ -1,0 +1,70 @@
+package papi
+
+// CostModel maps runtime events onto work bundles. The actor runtime
+// tallies these into each PE's Engine so that the counters reflect where
+// user-visible work happens, mirroring what real PMU counters would
+// attribute to the MAIN and PROC regions.
+//
+// The defaults are rough microarchitectural estimates for the small
+// code sequences involved; their absolute size is unimportant, but their
+// *proportionality to per-PE send and handler counts* is what reproduces
+// the paper's Figure 10/11 imbalance analysis.
+type CostModel struct {
+	// SendConstruct is the user-region work of building one message and
+	// appending it to a mailbox (the body of actor.Send up to the
+	// conveyor push).
+	SendConstruct Work
+	// SendPerByte is additional per-payload-byte work of a send.
+	SendPerByte Work
+	// HandlerDispatch is the user-region work of receiving one message
+	// and dispatching the handler (argument unmarshalling, the lambda
+	// call), charged per handled message in addition to whatever work
+	// the handler body itself reports.
+	HandlerDispatch Work
+	// HandlerPerByte is additional per-payload-byte handler work.
+	HandlerPerByte Work
+}
+
+// DefaultCostModel returns the calibration used by the reproduced
+// experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SendConstruct: Work{
+			Ins:    40, // pack arguments, bounds checks, buffer append
+			LstIns: 12,
+			L1DCM:  1, // the aggregation buffer streams through L1
+			BrMsp:  1,
+			Cyc:    20,
+		},
+		SendPerByte: Work{
+			Ins:    1,
+			LstIns: 1,
+			Cyc:    1,
+		},
+		HandlerDispatch: Work{
+			Ins:    45, // unpack, dispatch through the mailbox table
+			LstIns: 14,
+			L1DCM:  2, // handler touches user data structures
+			TLBDM:  1,
+			BrMsp:  1,
+			Cyc:    25,
+		},
+		HandlerPerByte: Work{
+			Ins:    1,
+			LstIns: 1,
+			Cyc:    1,
+		},
+	}
+}
+
+// SendWork returns the total user-region work of sending one message of
+// payloadBytes.
+func (m CostModel) SendWork(payloadBytes int) Work {
+	return m.SendConstruct.Add(m.SendPerByte.Scale(int64(payloadBytes)))
+}
+
+// HandlerWork returns the dispatch work of handling one message of
+// payloadBytes (excluding the handler body's own reported work).
+func (m CostModel) HandlerWork(payloadBytes int) Work {
+	return m.HandlerDispatch.Add(m.HandlerPerByte.Scale(int64(payloadBytes)))
+}

@@ -1,0 +1,115 @@
+package shmem
+
+import (
+	"strings"
+	"testing"
+
+	"actorprof/internal/sim"
+)
+
+func TestAPIProfileCountsRoutines(t *testing.T) {
+	prof := NewAPIProfile()
+	err := Run(Config{
+		Machine: sim.Machine{NumPEs: 2, PEsPerNode: 1},
+		Profile: prof,
+	}, func(pe *PE) {
+		off := pe.Malloc(64)
+		pe.Barrier()
+		if pe.Rank() == 0 {
+			pe.Put(1, off, make([]byte, 16))
+			pe.PutNBI(1, off+16, make([]byte, 8))
+			pe.PutNBI(1, off+24, make([]byte, 8))
+			pe.Quiet()
+			pe.Get(1, off, make([]byte, 4))
+			pe.AtomicFetchAddInt64(1, off+32, 1)
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The non-blocking routines the paper's surveyed profilers miss.
+	if got := prof.Count(0, RoutinePutNBI); got != 2 {
+		t.Errorf("putmem_nbi count = %d, want 2", got)
+	}
+	if got := prof.Bytes(0, RoutinePutNBI); got != 16 {
+		t.Errorf("putmem_nbi bytes = %d, want 16", got)
+	}
+	if got := prof.Count(0, RoutineQuiet); got != 1 {
+		t.Errorf("quiet count = %d, want 1 (barriers must not double-count)", got)
+	}
+	if got := prof.Count(0, RoutinePut); got != 1 {
+		t.Errorf("putmem count = %d, want 1", got)
+	}
+	if got := prof.Count(0, RoutineGet); got != 1 {
+		t.Errorf("getmem count = %d, want 1", got)
+	}
+	if got := prof.Count(0, RoutineAtomicFetchAdd); got != 1 {
+		t.Errorf("atomic count = %d, want 1", got)
+	}
+	// Every PE hits the same barriers: Malloc implies one, plus two
+	// explicit ones.
+	if b0, b1 := prof.Count(0, RoutineBarrier), prof.Count(1, RoutineBarrier); b0 != b1 || b0 < 3 {
+		t.Errorf("barrier counts %d/%d, want equal and >= 3", b0, b1)
+	}
+	// PE 1 issued no puts.
+	if got := prof.Count(1, RoutinePut); got != 0 {
+		t.Errorf("PE 1 putmem count = %d, want 0", got)
+	}
+}
+
+func TestAPIProfileReport(t *testing.T) {
+	prof := NewAPIProfile()
+	err := Run(Config{
+		Machine: sim.Machine{NumPEs: 2, PEsPerNode: 2},
+		Profile: prof,
+	}, func(pe *PE) {
+		off := pe.Malloc(8)
+		pe.Barrier()
+		pe.CopyLocal(1-pe.Rank(), off, make([]byte, 8))
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prof.Report()
+	if !strings.Contains(rep, "shmem_barrier_all") || !strings.Contains(rep, "shmem_ptr_memcpy") {
+		t.Fatalf("report missing routines:\n%s", rep)
+	}
+	if prof.TotalCount(RoutineCopyLocal) != 2 {
+		t.Fatalf("total CopyLocal = %d", prof.TotalCount(RoutineCopyLocal))
+	}
+}
+
+func TestAPIProfileCapturesConveyorsNBI(t *testing.T) {
+	// The headline claim: run a two-node workload and confirm the
+	// profiling interface observes shmem_putmem_nbi and shmem_quiet -
+	// the calls score-p/TAU/CrayPat/VTune cannot capture (paper V-B).
+	prof := NewAPIProfile()
+	err := Run(Config{
+		Machine: sim.Machine{NumPEs: 4, PEsPerNode: 2},
+		Profile: prof,
+	}, func(pe *PE) {
+		off := pe.Malloc(1024)
+		pe.Barrier()
+		peer := (pe.Rank() + 2) % 4 // other node
+		for i := 0; i < 10; i++ {
+			pe.PutNBI(peer, off, make([]byte, 64))
+			if i%5 == 4 {
+				pe.Quiet()
+				pe.PutInt64(peer, off+512, int64(i))
+			}
+		}
+		pe.Quiet()
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.TotalCount(RoutinePutNBI); got != 40 {
+		t.Errorf("total putmem_nbi = %d, want 40", got)
+	}
+	if got := prof.TotalCount(RoutineQuiet); got != 12 {
+		t.Errorf("total quiet = %d, want 12", got)
+	}
+}

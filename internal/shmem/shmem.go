@@ -1,0 +1,220 @@
+// Package shmem implements a simulated OpenSHMEM runtime: the PGAS SPMD
+// substrate that the paper's software stack (Conveyors, HClib-Actor,
+// ActorProf) is built on.
+//
+// The simulation runs every processing element (PE) as a goroutine inside
+// one process. PEs are grouped into simulated cluster nodes (sim.Machine);
+// each PE owns a symmetric heap, and the usual OpenSHMEM operations are
+// provided: collective symmetric allocation, blocking and non-blocking
+// one-sided puts, gets, quiet/fence, barriers, broadcasts, reductions, and
+// shmem_ptr-style direct intra-node access.
+//
+// Differences from a real OpenSHMEM are intentional and documented:
+//
+//   - Data movement costs are charged to a per-PE virtual cycle clock
+//     (sim.Clock) instead of being borne by real NICs. Inter-node puts pay
+//     network latency + per-byte cost; intra-node copies pay a much
+//     smaller shared-memory cost. This preserves the relative cost
+//     structure the paper's overall-breakdown profile (Figures 12-13)
+//     depends on.
+//   - Non-blocking puts (PutNBI) are buffered at the initiator and only
+//     become visible at the target after Quiet, which is *stricter* than
+//     the OpenSHMEM memory model (real NBI puts may land earlier) but is
+//     exactly the guarantee correct programs such as Conveyors rely on.
+//     Running under the strict model means protocol bugs surface instead
+//     of hiding behind eager delivery.
+//   - Barriers synchronize the virtual clocks of all participants to the
+//     maximum, modelling the BSP property that a synchronization point
+//     makes every PE pay for the slowest one.
+package shmem
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"actorprof/internal/sim"
+)
+
+// Config describes a simulated SPMD job.
+type Config struct {
+	// Machine is the PE/node layout. Required.
+	Machine sim.Machine
+	// Cost is the data-movement cost model. Zero value means
+	// sim.DefaultCostModel().
+	Cost sim.CostModel
+	// Timing selects Virtual (deterministic, default) or Hybrid
+	// (adds real tsc cycles) clock advancement.
+	Timing sim.TimingMode
+	// Profile, when non-nil, receives per-PE counts of every OpenSHMEM
+	// routine invocation - the pshmem-style profiling interface the
+	// paper's Section V-B proposes for capturing non-blocking routines.
+	Profile *APIProfile
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cost == (sim.CostModel{}) {
+		c.Cost = sim.DefaultCostModel()
+	}
+	return c
+}
+
+// World is the shared state of one SPMD run: all PE heaps, the symmetric
+// allocator, and synchronization structures. A World is created by Run
+// and is only valid for the duration of the body functions.
+type World struct {
+	cfg  Config
+	pes  []*PE
+	barr *barrier
+	coll *collectives
+
+	// allocMu guards the symmetric break pointer. Allocation itself is
+	// collective (all PEs call Malloc in the same order), but the heap
+	// growth must still be applied to every PE's heap under its lock.
+	allocMu sync.Mutex
+	brk     int
+
+	// shared holds world-wide singletons created by Shared. Higher
+	// layers use it for state that in a real job would live in the
+	// symmetric heap of a designated PE (e.g. termination boards) but
+	// that the simulation keeps as plain shared memory.
+	sharedMu sync.Mutex
+	shared   map[any]any
+}
+
+// Shared returns the world-wide singleton for key, creating it with
+// create on first use. Safe for concurrent use by all PEs.
+func (w *World) Shared(key any, create func() any) any {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	if w.shared == nil {
+		w.shared = make(map[any]any)
+	}
+	if v, ok := w.shared[key]; ok {
+		return v
+	}
+	v := create()
+	w.shared[key] = v
+	return v
+}
+
+// NumPEs returns the number of PEs in the world.
+func (w *World) NumPEs() int { return w.cfg.Machine.NumPEs }
+
+// Machine returns the machine layout.
+func (w *World) Machine() sim.Machine { return w.cfg.Machine }
+
+// Cost returns the cost model in effect.
+func (w *World) Cost() sim.CostModel { return w.cfg.Cost }
+
+// PE is the per-processing-element handle passed to the SPMD body. All
+// methods must be called from the PE's own goroutine unless documented
+// otherwise.
+type PE struct {
+	world *World
+	rank  int
+	clock *sim.Clock
+
+	heapMu sync.Mutex
+	heap   []byte
+
+	// pendingNBI holds writes issued by PutNBI that have not yet been
+	// flushed by Quiet/Fence. Only the owning goroutine touches it.
+	pendingNBI []pendingWrite
+	// nbiBytes is the total payload bytes buffered in pendingNBI.
+	nbiBytes int
+
+	// allocCursor is this PE's private symmetric-heap break pointer.
+	// Every PE computes identical offsets from the same collective
+	// Malloc sequence, as with a real symmetric heap.
+	allocCursor int
+}
+
+type pendingWrite struct {
+	target int
+	offset int
+	data   []byte
+}
+
+// Rank returns the PE's global rank (0-based).
+func (p *PE) Rank() int { return p.rank }
+
+// NumPEs returns the total number of PEs (shmem_n_pes).
+func (p *PE) NumPEs() int { return p.world.NumPEs() }
+
+// Node returns the simulated cluster node hosting this PE.
+func (p *PE) Node() int { return p.world.cfg.Machine.NodeOf(p.rank) }
+
+// NodeOf returns the node hosting PE rank r.
+func (p *PE) NodeOf(r int) int { return p.world.cfg.Machine.NodeOf(r) }
+
+// SameNode reports whether PE r shares a node with this PE.
+func (p *PE) SameNode(r int) bool { return p.world.cfg.Machine.SameNode(p.rank, r) }
+
+// World returns the enclosing world.
+func (p *PE) World() *World { return p.world }
+
+// Clock returns the PE's virtual cycle clock.
+func (p *PE) Clock() *sim.Clock { return p.clock }
+
+// Charge advances this PE's clock by n cycles. It is used by higher
+// layers (conveyor, actor, papi) to account simulated work.
+func (p *PE) Charge(n int64) { p.clock.Charge(n) }
+
+// Yield cedes the processor to other PE goroutines. Spin loops in the
+// runtime call this to keep the simulation live on few OS threads.
+func (p *PE) Yield() { runtime.Gosched() }
+
+// Run executes body as an SPMD program: one goroutine per PE, all started
+// together, and waits for all of them to return. A panic in any PE is
+// captured and returned as an error (after all other PEs finish or panic).
+func Run(cfg Config, body func(pe *PE)) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Machine.Validate(); err != nil {
+		return err
+	}
+	n := cfg.Machine.NumPEs
+	w := &World{
+		cfg:  cfg,
+		pes:  make([]*PE, n),
+		barr: newBarrier(n),
+		coll: newCollectives(n),
+	}
+	for i := 0; i < n; i++ {
+		w.pes[i] = &PE{
+			world: w,
+			rank:  i,
+			clock: sim.NewClock(cfg.Timing),
+		}
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		pe := w.pes[i]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 16<<10)
+					sz := runtime.Stack(buf, false)
+					errs[pe.rank] = fmt.Errorf("shmem: PE %d panicked: %v\n%s",
+						pe.rank, r, buf[:sz])
+					// Unblock peers that may be waiting in a barrier:
+					// poison the barrier so they fail fast instead of
+					// deadlocking.
+					w.barr.poison()
+				}
+			}()
+			body(pe)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

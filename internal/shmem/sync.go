@@ -1,0 +1,178 @@
+package shmem
+
+import (
+	"sync"
+)
+
+// barrier is a reusable sense-reversing barrier over n participants, with
+// panic poisoning so a crashed PE does not deadlock its peers.
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	arrived  int
+	gen      uint64
+	poisoned bool
+	// maxClock accumulates the maximum virtual clock of the arrivers in
+	// the current generation so that release can synchronize everyone.
+	maxClock int64
+	// releaseClock holds the synchronized clock value of the most
+	// recently completed generation. It is read under mu by goroutines
+	// woken from that generation.
+	releaseClock int64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have arrived. It returns the
+// maximum clock value observed across the arriving PEs in this
+// generation. Panics if the barrier has been poisoned by a crashed PE.
+func (b *barrier) await(clock int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("shmem: barrier poisoned by a crashed PE")
+	}
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		max := b.maxClock
+		b.maxClock = 0
+		// Stash the release clock where waiters of this generation can
+		// read it before a new generation overwrites anything.
+		b.releaseClock = max
+		b.cond.Broadcast()
+		return max
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("shmem: barrier poisoned by a crashed PE")
+	}
+	return b.releaseClock
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Barrier performs shmem_barrier_all: every PE blocks until all PEs
+// arrive. On release all virtual clocks are advanced to the maximum
+// arriving clock - the BSP "everyone pays for the straggler" property the
+// overall profile depends on.
+func (p *PE) Barrier() {
+	p.prof(RoutineBarrier, 0)
+	// A barrier also implies quiet: all outstanding puts complete.
+	p.quiet()
+	max := p.world.barr.await(p.clock.Now())
+	p.clock.AdvanceTo(max)
+}
+
+// collectives provides broadcast/reduce scratch space. Each collective
+// uses the barrier twice (gather then release), with a shared slot array.
+type collectives struct {
+	mu    sync.Mutex
+	slots []int64
+	objs  []any
+}
+
+func newCollectives(n int) *collectives {
+	return &collectives{slots: make([]int64, n), objs: make([]any, n)}
+}
+
+// ReduceOp identifies a reduction operator for AllReduceInt64.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		panic("shmem: unknown ReduceOp")
+	}
+}
+
+// AllReduceInt64 performs a collective reduction over one int64 per PE
+// and returns the reduced value on every PE (shmem_int64_sum_to_all and
+// friends). Implies a barrier.
+func (p *PE) AllReduceInt64(op ReduceOp, v int64) int64 {
+	c := p.world.coll
+	c.mu.Lock()
+	c.slots[p.rank] = v
+	c.mu.Unlock()
+	p.Barrier()
+	c.mu.Lock()
+	acc := c.slots[0]
+	for _, s := range c.slots[1:] {
+		acc = op.apply(acc, s)
+	}
+	c.mu.Unlock()
+	p.Barrier()
+	return acc
+}
+
+// BroadcastInt64 broadcasts v from PE root to all PEs and returns the
+// broadcast value everywhere. Implies barriers.
+func (p *PE) BroadcastInt64(root int, v int64) int64 {
+	c := p.world.coll
+	if p.rank == root {
+		c.mu.Lock()
+		c.slots[0] = v
+		c.mu.Unlock()
+	}
+	p.Barrier()
+	c.mu.Lock()
+	out := c.slots[0]
+	c.mu.Unlock()
+	p.Barrier()
+	return out
+}
+
+// AllGather collects one arbitrary value per PE and returns the full
+// slice, indexed by rank, on every PE. The values must not be mutated
+// after the call. Implies barriers. This is a simulation convenience used
+// by the trace collector to assemble per-PE results; real SHMEM programs
+// would use symmetric buffers.
+func (p *PE) AllGather(v any) []any {
+	c := p.world.coll
+	c.mu.Lock()
+	c.objs[p.rank] = v
+	c.mu.Unlock()
+	p.Barrier()
+	c.mu.Lock()
+	out := make([]any, len(c.objs))
+	copy(out, c.objs)
+	c.mu.Unlock()
+	p.Barrier()
+	return out
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"actorprof/internal/tsc"
+)
+
+// TimingMode selects how per-PE clocks advance.
+type TimingMode int
+
+const (
+	// Virtual advances clocks purely from cost-model charges. Runs are
+	// fully deterministic; this is the default for tests and benches.
+	Virtual TimingMode = iota
+	// Hybrid adds real elapsed tsc cycles on top of the cost-model
+	// charges, the closest analogue of the paper's rdtsc-based
+	// measurement on real hardware.
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (m TimingMode) String() string {
+	switch m {
+	case Virtual:
+		return "virtual"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("TimingMode(%d)", int(m))
+	}
+}
+
+// Clock is a per-PE cycle clock. In Virtual mode it advances only through
+// Charge calls issued by the simulated runtime (network operations,
+// instruction retirements). In Hybrid mode real tsc cycles accumulate as
+// well.
+//
+// A Clock is read by its owning PE goroutine and advanced by the same
+// goroutine, but SyncMax-based barrier synchronization reads clocks
+// cross-goroutine, so the charged component is atomic.
+type Clock struct {
+	mode    TimingMode
+	charged atomic.Int64
+	// realBase is the tsc reading when the clock was created/reset;
+	// only used in Hybrid mode.
+	realBase int64
+}
+
+// NewClock creates a clock in the given mode, starting at zero.
+func NewClock(mode TimingMode) *Clock {
+	return &Clock{mode: mode, realBase: tsc.Cycles()}
+}
+
+// Mode returns the clock's timing mode.
+func (c *Clock) Mode() TimingMode { return c.mode }
+
+// Charge advances the clock by n cycles. Negative charges are ignored.
+func (c *Clock) Charge(n int64) {
+	if n > 0 {
+		c.charged.Add(n)
+	}
+}
+
+// Now returns the current clock value in cycles.
+func (c *Clock) Now() int64 {
+	v := c.charged.Load()
+	if c.mode == Hybrid {
+		v += tsc.Cycles() - c.realBase
+	}
+	return v
+}
+
+// AdvanceTo charges the clock forward so that Now() >= target. Used by
+// barrier synchronization: after a BSP synchronization point every PE has
+// logically waited for the slowest one, so all clocks advance to the
+// maximum. A target at or below the current value is a no-op.
+func (c *Clock) AdvanceTo(target int64) {
+	now := c.Now()
+	if target > now {
+		c.charged.Add(target - now)
+	}
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() {
+	c.charged.Store(0)
+	c.realBase = tsc.Cycles()
+}

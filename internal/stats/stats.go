@@ -1,0 +1,189 @@
+// Package stats provides the descriptive statistics behind ActorProf's
+// visualizations: five-number summaries for the quartile violin plots,
+// means and imbalance factors for the bar graphs, and smoothed density
+// estimates for the violin bodies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quartiles is a five-number summary.
+type Quartiles struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// String renders the summary compactly.
+func (q Quartiles) String() string {
+	return fmt.Sprintf("min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g",
+		q.Min, q.Q1, q.Median, q.Q3, q.Max)
+}
+
+// IQR returns the interquartile range.
+func (q Quartiles) IQR() float64 { return q.Q3 - q.Q1 }
+
+// quantile computes the p-quantile (0..1) of sorted data with linear
+// interpolation (the same "linear" method numpy defaults to, keeping the
+// plots comparable with the paper's python tooling).
+func quantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summarize computes the five-number summary of vals. It copies and
+// sorts; the input is not modified. Panics on empty input.
+func Summarize(vals []float64) Quartiles {
+	if len(vals) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return Quartiles{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// SummarizeInts computes the five-number summary of integer counts.
+func SummarizeInts(vals []int64) Quartiles {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	return Summarize(f)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// MeanInts returns the arithmetic mean of integer counts.
+func MeanInts(vals []int64) float64 {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	return Mean(f)
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	m := Mean(vals)
+	var ss float64
+	for _, v := range vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)))
+}
+
+// Density is a smoothed density estimate over a value range, the body of
+// a violin plot.
+type Density struct {
+	// Lo and Hi bound the value axis.
+	Lo, Hi float64
+	// Weights[i] is the (normalized, max = 1) density of the i-th of
+	// len(Weights) equal-width bins.
+	Weights []float64
+}
+
+// EstimateDensity builds a kernel-smoothed histogram with the given
+// number of bins. Gaussian kernel, Silverman's rule-of-thumb bandwidth.
+// Panics on empty input; a single distinct value yields a unit spike.
+func EstimateDensity(vals []float64, bins int) Density {
+	if len(vals) == 0 {
+		panic("stats: EstimateDensity of empty slice")
+	}
+	if bins <= 0 {
+		bins = 32
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	d := Density{Lo: lo, Hi: hi, Weights: make([]float64, bins)}
+	if hi == lo {
+		d.Weights[bins/2] = 1
+		return d
+	}
+	// Silverman bandwidth on the value scale.
+	sd := StdDev(vals)
+	if sd == 0 {
+		sd = (hi - lo) / 4
+	}
+	bw := 1.06 * sd * math.Pow(float64(len(vals)), -0.2)
+	if bw <= 0 {
+		bw = (hi - lo) / float64(bins)
+	}
+	step := (hi - lo) / float64(bins-1)
+	for i := 0; i < bins; i++ {
+		x := lo + float64(i)*step
+		var acc float64
+		for _, v := range vals {
+			z := (x - v) / bw
+			acc += math.Exp(-0.5 * z * z)
+		}
+		d.Weights[i] = acc
+	}
+	max := 0.0
+	for _, w := range d.Weights {
+		max = math.Max(max, w)
+	}
+	if max > 0 {
+		for i := range d.Weights {
+			d.Weights[i] /= max
+		}
+	}
+	return d
+}
+
+// Histogram bins vals into n equal-width buckets over [lo, hi] and
+// returns the counts. Values outside the range clamp to the end bins.
+func Histogram(vals []float64, lo, hi float64, n int) []int {
+	counts := make([]int, n)
+	if n == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(n)
+	for _, v := range vals {
+		i := int((v - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnownValues(t *testing.T) {
+	q := Summarize([]float64{1, 2, 3, 4, 5})
+	if q.Min != 1 || q.Max != 5 || q.Median != 3 {
+		t.Fatalf("bad summary: %+v", q)
+	}
+	if !almost(q.Q1, 2) || !almost(q.Q3, 4) {
+		t.Fatalf("quartiles: %+v", q)
+	}
+}
+
+func TestSummarizeInterpolation(t *testing.T) {
+	// numpy.percentile([1,2,3,4], 25) == 1.75 with linear interpolation.
+	q := Summarize([]float64{1, 2, 3, 4})
+	if !almost(q.Q1, 1.75) {
+		t.Errorf("Q1 = %v, want 1.75", q.Q1)
+	}
+	if !almost(q.Median, 2.5) {
+		t.Errorf("median = %v, want 2.5", q.Median)
+	}
+	if !almost(q.Q3, 3.25) {
+		t.Errorf("Q3 = %v, want 3.25", q.Q3)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	q := Summarize([]float64{7})
+	if q.Min != 7 || q.Q1 != 7 || q.Median != 7 || q.Q3 != 7 || q.Max != 7 {
+		t.Fatalf("single value summary: %+v", q)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuartileOrderingProperty(t *testing.T) {
+	// Property: min <= q1 <= median <= q3 <= max, and all quartiles lie
+	// within the data range, for arbitrary inputs.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		q := Summarize(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return q.Min == sorted[0] && q.Max == sorted[len(sorted)-1] &&
+			q.Min <= q.Q1 && q.Q1 <= q.Median && q.Median <= q.Q3 && q.Q3 <= q.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vals); !almost(m, 5) {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if sd := StdDev(vals); !almost(sd, 2) {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-input mean/stddev should be 0")
+	}
+}
+
+func TestMeanInts(t *testing.T) {
+	if m := MeanInts([]int64{1, 2, 3}); !almost(m, 2) {
+		t.Errorf("MeanInts = %v, want 2", m)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	q := SummarizeInts([]int64{10, 20, 30})
+	if q.Median != 20 {
+		t.Errorf("median = %v, want 20", q.Median)
+	}
+}
+
+func TestEstimateDensityShape(t *testing.T) {
+	// Bimodal data: density should peak near both modes.
+	var vals []float64
+	for i := 0; i < 50; i++ {
+		vals = append(vals, 10+float64(i%3))
+		vals = append(vals, 100+float64(i%3))
+	}
+	d := EstimateDensity(vals, 64)
+	if d.Lo != 10 || d.Hi != 102 {
+		t.Fatalf("range [%v,%v], want [10,102]", d.Lo, d.Hi)
+	}
+	// The normalized max must be exactly 1.
+	max := 0.0
+	for _, w := range d.Weights {
+		if w < 0 || w > 1 {
+			t.Fatalf("weight %v out of [0,1]", w)
+		}
+		max = math.Max(max, w)
+	}
+	if !almost(max, 1) {
+		t.Fatalf("max weight = %v, want 1", max)
+	}
+	// The middle of the range (valley between modes) must be lower than
+	// both ends.
+	mid := d.Weights[32]
+	if mid > d.Weights[2] || mid > d.Weights[61] {
+		t.Errorf("expected bimodal valley: mid=%v ends=%v,%v", mid, d.Weights[2], d.Weights[61])
+	}
+}
+
+func TestEstimateDensityConstantInput(t *testing.T) {
+	d := EstimateDensity([]float64{5, 5, 5}, 16)
+	spike := 0
+	for _, w := range d.Weights {
+		if w > 0 {
+			spike++
+		}
+	}
+	if spike != 1 {
+		t.Fatalf("constant input should give a single spike, got %d nonzero bins", spike)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0, 1, 2, 3, 3.9, 5, -1}, 0, 4, 4)
+	// -1 clamps to bin 0; 3, 3.9 and the clamped 5 land in bin 3.
+	want := []int{2, 1, 1, 3}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestIQR(t *testing.T) {
+	q := Quartiles{Q1: 2, Q3: 6}
+	if q.IQR() != 4 {
+		t.Fatalf("IQR = %v, want 4", q.IQR())
+	}
+}

@@ -1,0 +1,468 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"actorprof/internal/conveyor"
+	"actorprof/internal/papi"
+)
+
+// File naming, matching the paper's formats.
+func logicalFile(pe int) string { return fmt.Sprintf("PE%d_send.csv", pe) }
+func papiFile(pe int) string    { return fmt.Sprintf("PE%d_PAPI.csv", pe) }
+
+const (
+	overallFile  = "overall.txt"
+	physicalFile = "physical.txt"
+	segmentsFile = "segments.txt"
+	metaFile     = "actorprof_meta.txt"
+)
+
+// WriteFiles writes every enabled trace to dir in the paper's formats:
+// per-PE PEi_send.csv and PEi_PAPI.csv, plus shared overall.txt and
+// physical.txt, and an actorprof_meta.txt with run parameters (number of
+// PEs, PEs per node, PAPI event names) that the readers use.
+func (s *Set) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: creating output dir: %w", err)
+	}
+	if err := s.writeMeta(dir); err != nil {
+		return err
+	}
+	if s.Config.Logical {
+		for pe := 0; pe < s.NumPEs; pe++ {
+			if err := s.writeLogical(dir, pe); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Config.PAPIEvents) > 0 {
+		for pe := 0; pe < s.NumPEs; pe++ {
+			if err := s.writePAPI(dir, pe); err != nil {
+				return err
+			}
+		}
+	}
+	if s.Config.Overall {
+		if err := s.writeOverall(dir); err != nil {
+			return err
+		}
+	}
+	if s.Config.Physical {
+		if err := s.writePhysical(dir); err != nil {
+			return err
+		}
+	}
+	if s.hasSegments() {
+		if err := s.writeSegments(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Set) hasSegments() bool {
+	for _, recs := range s.Segments {
+		if len(recs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Set) writeSegments(dir string) error {
+	return writeLines(filepath.Join(dir, segmentsFile), func(w *bufio.Writer) error {
+		for pe := 0; pe < s.NumPEs; pe++ {
+			for _, r := range s.Segments[pe] {
+				fmt.Fprintf(w, "[PE%d] SEGMENT %s count=%d cycles=%d", r.PE, r.Name, r.Count, r.Cycles)
+				for i, ev := range s.Config.PAPIEvents {
+					if i < len(r.Counters) {
+						fmt.Fprintf(w, " %s=%d", ev, r.Counters[i])
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		return nil
+	})
+}
+
+func readSegmentsFile(path string, nEvents int) ([]SegmentRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []SegmentRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[1] != "SEGMENT" {
+			return nil, fmt.Errorf("trace: bad segments line %q", line)
+		}
+		var pe int
+		if _, err := fmt.Sscanf(fields[0], "[PE%d]", &pe); err != nil {
+			return nil, fmt.Errorf("trace: bad segments line %q: %w", line, err)
+		}
+		rec := SegmentRecord{PE: pe, Name: fields[2], Counters: make([]int64, 0, nEvents)}
+		for _, kv := range fields[3:] {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("trace: bad segments field %q", kv)
+			}
+			v, err := strconv.ParseInt(kv[eq+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad segments field %q: %w", kv, err)
+			}
+			switch kv[:eq] {
+			case "count":
+				rec.Count = v
+			case "cycles":
+				rec.Cycles = v
+			default:
+				rec.Counters = append(rec.Counters, v)
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+func writeLines(path string, emit func(w *bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := emit(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: flushing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func (s *Set) writeMeta(dir string) error {
+	return writeLines(filepath.Join(dir, metaFile), func(w *bufio.Writer) error {
+		fmt.Fprintf(w, "num_PEs %d\n", s.NumPEs)
+		fmt.Fprintf(w, "PEs_per_node %d\n", s.PEsPerNode)
+		if len(s.Config.PAPIEvents) > 0 {
+			names := make([]string, len(s.Config.PAPIEvents))
+			for i, ev := range s.Config.PAPIEvents {
+				names[i] = ev.String()
+			}
+			fmt.Fprintf(w, "papi_events %s\n", strings.Join(names, ","))
+		}
+		fmt.Fprintf(w, "logical_sample %d\n", s.Config.LogicalSample)
+		return nil
+	})
+}
+
+func (s *Set) writeLogical(dir string, pe int) error {
+	return writeLines(filepath.Join(dir, logicalFile(pe)), func(w *bufio.Writer) error {
+		for _, r := range s.Logical[pe] {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%d\n", r.SrcNode, r.SrcPE, r.DstNode, r.DstPE, r.MsgSize)
+		}
+		return nil
+	})
+}
+
+func (s *Set) writePAPI(dir string, pe int) error {
+	return writeLines(filepath.Join(dir, papiFile(pe)), func(w *bufio.Writer) error {
+		for _, r := range s.PAPI[pe] {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d", r.SrcNode, r.SrcPE, r.DstNode, r.DstPE,
+				r.PktSize, r.MailboxID, r.NumSends)
+			for _, c := range r.Counters {
+				fmt.Fprintf(w, ",%d", c)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+}
+
+func (s *Set) writeOverall(dir string) error {
+	recs := append([]OverallRecord(nil), s.Overall...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].PE < recs[j].PE })
+	return writeLines(filepath.Join(dir, overallFile), func(w *bufio.Writer) error {
+		for _, r := range recs {
+			fmt.Fprintf(w, "Absolute [PE%d] TCOMM_PROFILING (%d, %d, %d)\n",
+				r.PE, r.TMain, r.TComm, r.TProc)
+			fmt.Fprintf(w, "Relative [PE%d] TCOMM_PROFILING (%.6f, %.6f, %.6f)\n",
+				r.PE, r.RelMain(), r.RelComm(), r.RelProc())
+		}
+		return nil
+	})
+}
+
+func (s *Set) writePhysical(dir string) error {
+	return writeLines(filepath.Join(dir, physicalFile), func(w *bufio.Writer) error {
+		for pe := 0; pe < s.NumPEs; pe++ {
+			for _, r := range s.Physical[pe] {
+				fmt.Fprintf(w, "%s,%d,%d,%d\n", r.Kind, r.BufBytes, r.SrcPE, r.DstPE)
+			}
+		}
+		return nil
+	})
+}
+
+// ReadSet loads a trace directory written by WriteFiles back into a Set.
+// Missing optional files simply leave the corresponding feature disabled,
+// so the visualizer can work with partial trace directories.
+func ReadSet(dir string) (*Set, error) {
+	npes, perNode, events, sample, err := readMeta(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{PAPIEvents: events, LogicalSample: sample}
+	s := NewSet(cfg, npes, perNode)
+
+	for pe := 0; pe < npes; pe++ {
+		recs, err := readLogicalFile(filepath.Join(dir, logicalFile(pe)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		s.Config.Logical = true
+		s.Logical[pe] = recs
+		s.LogicalSendCount[pe] = int64(len(recs)) * int64(sample)
+	}
+	for pe := 0; pe < npes; pe++ {
+		recs, err := readPAPIFile(filepath.Join(dir, papiFile(pe)), len(events))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		s.PAPI[pe] = recs
+	}
+	if recs, err := readOverallFile(filepath.Join(dir, overallFile)); err == nil {
+		s.Config.Overall = true
+		s.Overall = recs
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if perPE, err := readPhysicalFile(filepath.Join(dir, physicalFile), npes); err == nil {
+		s.Config.Physical = true
+		s.Physical = perPE
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if recs, err := readSegmentsFile(filepath.Join(dir, segmentsFile), len(events)); err == nil {
+		for _, r := range recs {
+			if r.PE >= 0 && r.PE < npes {
+				s.Segments[r.PE] = append(s.Segments[r.PE], r)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return s, nil
+}
+
+func readMeta(path string) (npes, perNode int, events []papi.Event, sample int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, 0, fmt.Errorf("trace: reading meta: %w", err)
+	}
+	defer f.Close()
+	perNode, sample = 1, 1
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "num_PEs":
+			npes, err = strconv.Atoi(fields[1])
+		case "PEs_per_node":
+			perNode, err = strconv.Atoi(fields[1])
+		case "logical_sample":
+			sample, err = strconv.Atoi(fields[1])
+		case "papi_events":
+			for _, name := range strings.Split(fields[1], ",") {
+				ev, e := papi.EventByName(name)
+				if e != nil {
+					return 0, 0, nil, 0, e
+				}
+				events = append(events, ev)
+			}
+		}
+		if err != nil {
+			return 0, 0, nil, 0, fmt.Errorf("trace: bad meta line %q: %w", sc.Text(), err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	if npes <= 0 {
+		return 0, 0, nil, 0, fmt.Errorf("trace: meta file %s has no num_PEs", path)
+	}
+	return npes, perNode, events, sample, nil
+}
+
+func parseIntFields(line string, want int) ([]int64, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) < want {
+		return nil, fmt.Errorf("trace: line %q has %d fields, want >= %d", line, len(parts), want)
+	}
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %q field %d: %w", line, i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func readLogicalFile(path string) ([]LogicalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []LogicalRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		v, err := parseIntFields(sc.Text(), 5)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, LogicalRecord{
+			SrcNode: int(v[0]), SrcPE: int(v[1]),
+			DstNode: int(v[2]), DstPE: int(v[3]), MsgSize: int(v[4]),
+		})
+	}
+	return recs, sc.Err()
+}
+
+func readPAPIFile(path string, nEvents int) ([]PAPIRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []PAPIRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		v, err := parseIntFields(sc.Text(), 7+nEvents)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, PAPIRecord{
+			SrcNode: int(v[0]), SrcPE: int(v[1]),
+			DstNode: int(v[2]), DstPE: int(v[3]),
+			PktSize: int(v[4]), MailboxID: int(v[5]), NumSends: int(v[6]),
+			Counters: v[7:],
+		})
+	}
+	return recs, sc.Err()
+}
+
+func readOverallFile(path string) ([]OverallRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	byPE := map[int]*OverallRecord{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Absolute ") {
+			continue
+		}
+		var pe int
+		var m, c, p int64
+		if _, err := fmt.Sscanf(line, "Absolute [PE%d] TCOMM_PROFILING (%d, %d, %d)",
+			&pe, &m, &c, &p); err != nil {
+			return nil, fmt.Errorf("trace: bad overall line %q: %w", line, err)
+		}
+		byPE[pe] = &OverallRecord{PE: pe, TMain: m, TComm: c, TProc: p, TTotal: m + c + p}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	pes := make([]int, 0, len(byPE))
+	for pe := range byPE {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	recs := make([]OverallRecord, 0, len(pes))
+	for _, pe := range pes {
+		recs = append(recs, *byPE[pe])
+	}
+	return recs, nil
+}
+
+func readPhysicalFile(path string, npes int) ([][]PhysicalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	perPE := make([][]PhysicalRecord, npes)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("trace: bad physical line %q", line)
+		}
+		var kind conveyor.SendKind
+		switch parts[0] {
+		case conveyor.LocalSend.String():
+			kind = conveyor.LocalSend
+		case conveyor.NonblockSend.String():
+			kind = conveyor.NonblockSend
+		case conveyor.NonblockProgress.String():
+			kind = conveyor.NonblockProgress
+		default:
+			return nil, fmt.Errorf("trace: unknown send type %q", parts[0])
+		}
+		var nums [3]int
+		for i := 0; i < 3; i++ {
+			n, err := strconv.Atoi(strings.TrimSpace(parts[i+1]))
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad physical line %q: %w", line, err)
+			}
+			nums[i] = n
+		}
+		src := nums[1]
+		if src < 0 || src >= npes {
+			return nil, fmt.Errorf("trace: physical record with src PE %d out of range", src)
+		}
+		perPE[src] = append(perPE[src], PhysicalRecord{
+			Kind: kind, BufBytes: nums[0], SrcPE: src, DstPE: nums[2],
+		})
+	}
+	return perPE, sc.Err()
+}

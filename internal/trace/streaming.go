@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"actorprof/internal/sim"
+)
+
+// Streaming mode addresses the paper's Section VI concern: FA-BSP
+// programs emit message volumes whose traces reach the order of 100 GB,
+// far beyond what a collector can buffer in memory. A streaming
+// Collector writes every logical, PAPI, and physical record to disk the
+// moment it is produced - in exactly the on-disk formats of Section III,
+// so ReadSet and the visualizer work unchanged - and keeps only O(PEs)
+// state (counters and the overall breakdown) in memory.
+
+// peStream holds one PE's open trace files in streaming mode.
+type peStream struct {
+	logicalF, papiF, physF *os.File
+	logical, papi, phys    *bufio.Writer
+}
+
+func (s *peStream) flushClose() error {
+	var first error
+	flush := func(w *bufio.Writer, f *os.File) {
+		if w != nil {
+			if err := w.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	flush(s.logical, s.logicalF)
+	flush(s.papi, s.papiF)
+	flush(s.phys, s.physF)
+	return first
+}
+
+// NewStreamingCollector creates a collector that writes records straight
+// into dir instead of buffering them. Call Finalize after the run to
+// complete the directory (meta, overall.txt, physical.txt assembly);
+// Set() then carries only counters and the overall breakdown - load the
+// full data back with ReadSet(dir) when needed.
+func NewStreamingCollector(cfg Config, machine sim.Machine, dir string) (*Collector, error) {
+	c, err := NewCollector(cfg, machine)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: creating stream dir: %w", err)
+	}
+	c.streamDir = dir
+	c.streams = make([]*peStream, machine.NumPEs)
+	return c, nil
+}
+
+// Streaming reports whether this collector writes records to disk as
+// they are produced.
+func (c *Collector) Streaming() bool { return c.streamDir != "" }
+
+// openStreams creates the per-PE files lazily at ForPE time.
+func (c *Collector) openStreams(pe int) (*peStream, error) {
+	s := &peStream{}
+	if c.cfg.Logical {
+		f, err := os.Create(filepath.Join(c.streamDir, logicalFile(pe)))
+		if err != nil {
+			return nil, err
+		}
+		s.logicalF, s.logical = f, bufio.NewWriterSize(f, 1<<16)
+	}
+	if len(c.cfg.PAPIEvents) > 0 {
+		f, err := os.Create(filepath.Join(c.streamDir, papiFile(pe)))
+		if err != nil {
+			return nil, err
+		}
+		s.papiF, s.papi = f, bufio.NewWriterSize(f, 1<<16)
+	}
+	if c.cfg.Physical {
+		f, err := os.Create(filepath.Join(c.streamDir, physicalPart(pe)))
+		if err != nil {
+			return nil, err
+		}
+		s.physF, s.phys = f, bufio.NewWriterSize(f, 1<<16)
+	}
+	return s, nil
+}
+
+func physicalPart(pe int) string { return fmt.Sprintf("physical.PE%d.part", pe) }
+
+// Finalize completes a streaming trace directory: flushes and closes
+// every per-PE file, writes the meta file and overall.txt, and
+// concatenates the per-PE physical parts into physical.txt (removing
+// the parts). Finalize must be called after every PECollector's Close.
+// It is an error on non-streaming collectors.
+func (c *Collector) Finalize() error {
+	if !c.Streaming() {
+		return fmt.Errorf("trace: Finalize on a non-streaming collector")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.streams {
+		if s == nil {
+			continue
+		}
+		if err := s.flushClose(); err != nil {
+			return fmt.Errorf("trace: closing stream files: %w", err)
+		}
+	}
+	if err := c.set.writeMeta(c.streamDir); err != nil {
+		return err
+	}
+	if c.cfg.Overall {
+		if err := c.set.writeOverall(c.streamDir); err != nil {
+			return err
+		}
+	}
+	if c.cfg.Physical {
+		out, err := os.Create(filepath.Join(c.streamDir, physicalFile))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriterSize(out, 1<<16)
+		for pe := 0; pe < c.machine.NumPEs; pe++ {
+			part := filepath.Join(c.streamDir, physicalPart(pe))
+			in, err := os.Open(part)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				out.Close()
+				return err
+			}
+			if _, err := io.Copy(w, in); err != nil {
+				in.Close()
+				out.Close()
+				return err
+			}
+			in.Close()
+			os.Remove(part)
+		}
+		if err := w.Flush(); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Streaming write paths, called from the PECollector hot path.
+
+func (p *PECollector) streamLogical(r LogicalRecord) {
+	fmt.Fprintf(p.stream.logical, "%d,%d,%d,%d,%d\n",
+		r.SrcNode, r.SrcPE, r.DstNode, r.DstPE, r.MsgSize)
+}
+
+func (p *PECollector) streamPAPI(r PAPIRecord) {
+	fmt.Fprintf(p.stream.papi, "%d,%d,%d,%d,%d,%d,%d",
+		r.SrcNode, r.SrcPE, r.DstNode, r.DstPE, r.PktSize, r.MailboxID, r.NumSends)
+	for _, cnt := range r.Counters {
+		fmt.Fprintf(p.stream.papi, ",%d", cnt)
+	}
+	fmt.Fprintln(p.stream.papi)
+}
+
+func (p *PECollector) streamPhysical(r PhysicalRecord) {
+	fmt.Fprintf(p.stream.phys, "%s,%d,%d,%d\n", r.Kind, r.BufBytes, r.SrcPE, r.DstPE)
+}

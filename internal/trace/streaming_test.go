@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"actorprof/internal/conveyor"
+	"actorprof/internal/papi"
+)
+
+func TestStreamingCollectorWritesIdenticalFiles(t *testing.T) {
+	// The same event sequence through a buffering collector + WriteFiles
+	// and through a streaming collector + Finalize must produce
+	// byte-identical trace files.
+	cfg := Config{
+		Logical: true, Physical: true, Overall: true,
+		PAPIEvents: []papi.Event{papi.TOT_INS},
+	}
+	m := machine(4, 2)
+
+	feed := func(c *Collector) {
+		for pe := 0; pe < 4; pe++ {
+			eng := papi.NewEngine()
+			pc := c.ForPE(pe, eng)
+			for i := 0; i < 5; i++ {
+				eng.Tally(papi.Work{Ins: int64(10 * (pe + 1))})
+				pc.LogicalSend(0, (pe+i)%4, 8)
+			}
+			pc.PhysicalSend(conveyor.LocalSend, 128, pe, (pe+1)%4)
+			if pe >= 2 {
+				pc.PhysicalSend(conveyor.NonblockSend, 256, pe, (pe+2)%4)
+			}
+			pc.OverallBreakdown(int64(100+pe), int64(50+pe), int64(1000+pe))
+			pc.Close()
+		}
+	}
+
+	bufDir := t.TempDir()
+	buffered, err := NewCollector(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(buffered)
+	if err := buffered.Set().WriteFiles(bufDir); err != nil {
+		t.Fatal(err)
+	}
+
+	streamDir := t.TempDir()
+	streaming, err := NewStreamingCollector(cfg, m, streamDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streaming.Streaming() {
+		t.Fatal("collector should report streaming mode")
+	}
+	feed(streaming)
+	if err := streaming.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(bufDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no files written")
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(bufDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(streamDir, e.Name()))
+		if err != nil {
+			t.Fatalf("streaming run missing %s: %v", e.Name(), err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s differs between buffered and streaming collectors:\nbuffered:\n%s\nstreaming:\n%s",
+				e.Name(), want, got)
+		}
+	}
+	// No leftover part files.
+	leftovers, _ := filepath.Glob(filepath.Join(streamDir, "*.part"))
+	if len(leftovers) != 0 {
+		t.Errorf("part files not cleaned up: %v", leftovers)
+	}
+}
+
+func TestStreamingKeepsMemoryEmpty(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewStreamingCollector(Config{Logical: true}, machine(2, 2), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := c.ForPE(0, nil)
+	for i := 0; i < 1000; i++ {
+		pc.LogicalSend(0, 1, 8)
+	}
+	pc.Close()
+	set := c.Set()
+	if len(set.Logical[0]) != 0 {
+		t.Fatalf("streaming collector buffered %d records in memory", len(set.Logical[0]))
+	}
+	if set.LogicalSendCount[0] != 1000 {
+		t.Fatalf("send count = %d, want 1000", set.LogicalSendCount[0])
+	}
+}
+
+func TestStreamingRoundTripThroughReadSet(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewStreamingCollector(Config{Logical: true, Overall: true}, machine(2, 2), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 2; pe++ {
+		pc := c.ForPE(pe, nil)
+		for i := 0; i < 7; i++ {
+			pc.LogicalSend(0, 1-pe, 16)
+		}
+		pc.OverallBreakdown(10, 20, 100)
+		pc.Close()
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.LogicalMatrix().Total(); got != 14 {
+		t.Fatalf("read-back logical total = %d, want 14", got)
+	}
+	if len(back.Overall) != 2 {
+		t.Fatalf("read-back overall records = %d, want 2", len(back.Overall))
+	}
+}
+
+func TestStreamingCollectorBadDirectory(t *testing.T) {
+	// A file where the directory should be must fail fast at
+	// construction, not corrupt a run later.
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStreamingCollector(Config{Logical: true}, machine(2, 2),
+		filepath.Join(path, "sub")); err == nil {
+		t.Fatal("expected error creating stream dir under a file")
+	}
+}
+
+func TestFinalizeOnBufferingCollectorFails(t *testing.T) {
+	c, err := NewCollector(Config{Logical: true}, machine(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err == nil {
+		t.Fatal("Finalize on a buffering collector must error")
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"actorprof/internal/tsc"
+)
+
+// traceEvent is one record of the Google Trace Event format ("Trace
+// Event Format", the chrome://tracing / Perfetto JSON array form). The
+// paper's Section VI lists adopting this format as future work;
+// ExportTraceEvents implements it for the physical trace.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	PID   int            `json:"pid"` // node
+	TID   int            `json:"tid"` // PE
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ExportTraceEvents writes the physical trace as a Google Trace Event
+// JSON array: one instant event per Conveyors transfer, grouped by node
+// (pid) and PE (tid), with timestamps from the per-PE virtual clocks
+// converted to microseconds. Records without clock values (e.g. traces
+// reloaded from physical.txt, whose on-disk format carries none) fall
+// back to their sequence index, preserving per-PE ordering - which is
+// exactly the ordering guarantee Conveyors provides anyway (paper
+// Section IV-E).
+func (s *Set) ExportTraceEvents(w io.Writer) error {
+	perNode := s.PEsPerNode
+	if perNode <= 0 {
+		perNode = 1
+	}
+	events := make([]traceEvent, 0, 256)
+	for pe, recs := range s.Physical {
+		for i, r := range recs {
+			ts := float64(tsc.ToDuration(r.Cycles).Microseconds())
+			if r.Cycles == 0 {
+				ts = float64(i)
+			}
+			events = append(events, traceEvent{
+				Name:  r.Kind.String(),
+				Cat:   "conveyor",
+				Phase: "i",
+				TS:    ts,
+				PID:   pe / perNode,
+				TID:   pe,
+				Args: map[string]any{
+					"buf_bytes": r.BufBytes,
+					"src_pe":    r.SrcPE,
+					"dst_pe":    r.DstPE,
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("trace: encoding trace events: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package tsc provides a time-stamp-counter analogue for cycle-granularity
+// timing, mirroring the paper's use of the x86 rdtsc instruction for the
+// ActorProf overall-breakdown profile.
+//
+// The paper deliberately uses rdtsc (not rdtscp, not OS timers) to keep
+// profiling overhead low. Go cannot portably issue rdtsc without assembly
+// or cgo, so this package derives a monotonically increasing cycle count
+// from the runtime's monotonic clock at a fixed calibration frequency.
+// Like rdtsc, the counter is cheap to read, monotonic within a run, and
+// not serialized against the instruction stream.
+package tsc
+
+import "time"
+
+// Frequency is the calibration frequency used to convert monotonic
+// nanoseconds into cycles. 3 GHz is representative of the AMD EPYC 7763
+// (Milan) nodes used in the paper's Perlmutter experiments.
+const Frequency = 3_000_000_000
+
+var epoch = time.Now()
+
+// Cycles returns the number of simulated cycles elapsed since process
+// start. It is the analogue of the paper's rdtsc() helper.
+func Cycles() int64 {
+	return time.Since(epoch).Nanoseconds() * (Frequency / 1_000_000_000)
+}
+
+// ToDuration converts a cycle count into wall-clock time at the
+// calibration frequency.
+func ToDuration(cycles int64) time.Duration {
+	return time.Duration(cycles * 1_000_000_000 / Frequency)
+}
+
+// FromDuration converts a wall-clock duration into cycles at the
+// calibration frequency.
+func FromDuration(d time.Duration) int64 {
+	return d.Nanoseconds() * (Frequency / 1_000_000_000)
+}

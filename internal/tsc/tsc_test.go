@@ -1,0 +1,39 @@
+package tsc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCyclesMonotonic(t *testing.T) {
+	a := Cycles()
+	b := Cycles()
+	if b < a {
+		t.Fatalf("tsc went backwards: %d then %d", a, b)
+	}
+}
+
+func TestCyclesAdvance(t *testing.T) {
+	a := Cycles()
+	time.Sleep(2 * time.Millisecond)
+	b := Cycles()
+	// 2 ms at 3 GHz is 6M cycles; allow generous slack for coarse
+	// timers, but it must clearly advance.
+	if b-a < 1_000_000 {
+		t.Fatalf("tsc advanced only %d cycles over 2ms", b-a)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := FromDuration(time.Second); got != Frequency {
+		t.Fatalf("FromDuration(1s) = %d, want %d", got, int64(Frequency))
+	}
+	if got := ToDuration(Frequency); got != time.Second {
+		t.Fatalf("ToDuration(Frequency) = %v, want 1s", got)
+	}
+	// Round trip.
+	d := 137 * time.Microsecond
+	if got := ToDuration(FromDuration(d)); got != d {
+		t.Fatalf("round trip %v -> %v", d, got)
+	}
+}

@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"io"
+	"testing"
+)
+
+func benchMatrix(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			m[i][j] = int64((i*31 + j*17) % 1000)
+		}
+	}
+	return m
+}
+
+func BenchmarkHeatmapSVG32(b *testing.B) {
+	h := Heatmap{Title: "bench", Cells: benchMatrix(32), Totals: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RenderSVG(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeatmapText32(b *testing.B) {
+	h := Heatmap{Title: "bench", Cells: benchMatrix(32), Totals: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.RenderText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViolinSVG(b *testing.B) {
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = float64((i * i) % 977)
+	}
+	v := Violin{Title: "bench", Groups: []ViolinGroup{
+		{Label: "sends", Values: vals},
+		{Label: "recvs", Values: vals},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.RenderSVG(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStackedBarSVG(b *testing.B) {
+	n := 32
+	labels := make([]string, n)
+	vals := make([]int64, n)
+	for i := range labels {
+		labels[i] = itoa(i)
+		vals[i] = int64(i * 100)
+	}
+	s := StackedBar{
+		Title: "bench", Labels: labels,
+		Series: []Series{
+			{Name: "MAIN", Values: vals},
+			{Name: "COMM", Values: vals},
+			{Name: "PROC", Values: vals},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RenderSVG(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,115 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func groupedFixture() GroupedBar {
+	return GroupedBar{
+		Title:  "All PAPI counters",
+		YLabel: "normalized",
+		Labels: []string{"PE0", "PE1", "PE2"},
+		Series: []Series{
+			{Name: "PAPI_TOT_INS", Values: []int64{1000, 500, 250}},
+			{Name: "PAPI_LST_INS", Values: []int64{300, 150, 75}},
+			{Name: "PAPI_L1_DCM", Values: []int64{10, 5, 50}},
+			{Name: "PAPI_BR_MSP", Values: []int64{4, 2, 1}},
+		},
+	}
+}
+
+func TestGroupedBarText(t *testing.T) {
+	g := groupedFixture()
+	var b strings.Builder
+	if err := g.RenderText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"PE0", "PE2", "PAPI_TOT_INS", "PAPI_BR_MSP", "1.0k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestGroupedBarSVG(t *testing.T) {
+	g := groupedFixture()
+	svg, err := g.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 groups x 4 series = 12 data marks, each with a tooltip.
+	if got := strings.Count(svg, "<title>"); got != 12 {
+		t.Errorf("tooltips = %d, want 12", got)
+	}
+	// Four fixed-order categorical colors present.
+	for _, col := range []string{colSeries1, colSeries2, colSeries3, colSeries4} {
+		if !strings.Contains(svg, col) {
+			t.Errorf("missing categorical color %s", col)
+		}
+	}
+	// Legend carries per-series maxima (independent scales).
+	if !strings.Contains(svg, "PAPI_TOT_INS (max 1.0k)") {
+		t.Error("legend should state each series' own maximum")
+	}
+}
+
+func TestGroupedBarValidation(t *testing.T) {
+	g := GroupedBar{Labels: []string{"a"}}
+	if err := g.RenderText(&strings.Builder{}); err == nil {
+		t.Fatal("expected error for no series")
+	}
+	bad := groupedFixture()
+	bad.Series[0].Values = []int64{1}
+	if _, err := bad.RenderSVG(); err == nil {
+		t.Fatal("expected error for ragged series")
+	}
+	seven := GroupedBar{Labels: []string{"a"}}
+	for i := 0; i < 7; i++ {
+		seven.Series = append(seven.Series, Series{Name: "s", Values: []int64{1}})
+	}
+	if _, err := seven.RenderSVG(); err == nil {
+		t.Fatal("expected error for more series than palette slots")
+	}
+}
+
+func TestGroupedBarPerSeriesNormalization(t *testing.T) {
+	// A series whose max is at PE2 must show its tallest bar there even
+	// though another series dwarfs it in absolute value.
+	g := groupedFixture()
+	var b strings.Builder
+	if err := g.RenderText(&b); err != nil {
+		t.Fatal(err)
+	}
+	// In the text renderer, PAPI_L1_DCM at PE2 (50, its max) gets the
+	// full 40-char bar; at PE0 (10) only 8 chars.
+	lines := strings.Split(b.String(), "\n")
+	var inPE0, inPE2 bool
+	var pe0Bar, pe2Bar int
+	for _, l := range lines {
+		switch strings.TrimSpace(l) {
+		case "PE0":
+			inPE0, inPE2 = true, false
+			continue
+		case "PE1":
+			inPE0, inPE2 = false, false
+			continue
+		case "PE2":
+			inPE0, inPE2 = false, true
+			continue
+		}
+		if strings.Contains(l, "PAPI_L1_DCM") {
+			if inPE0 {
+				pe0Bar = strings.Count(l, "#")
+			}
+			if inPE2 {
+				pe2Bar = strings.Count(l, "#")
+			}
+		}
+	}
+	if pe2Bar != 40 || pe0Bar != 8 {
+		t.Fatalf("per-series normalization wrong: PE0 bar %d (want 8), PE2 bar %d (want 40)",
+			pe0Bar, pe2Bar)
+	}
+}

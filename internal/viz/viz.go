@@ -1,0 +1,174 @@
+// Package viz renders ActorProf's visualizations - heatmaps, quartile
+// violin plots, bar graphs, and stacked bar graphs - as both ANSI
+// terminal text and standalone SVG documents. It replaces the paper's
+// numpy/pandas/matplotlib scripts (logical.py, physical.py, papi.py,
+// Overall.py) with pure-Go renderers.
+//
+// Color usage follows a validated accessible palette: a single-hue blue
+// ramp (light to dark) for sequential magnitude (heatmap cells, violin
+// bodies), fixed-order categorical slots for the stacked-bar regimes,
+// and neutral text tokens for all labels. Every SVG mark carries a
+// native <title> tooltip.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette roles (light surface), from the validated reference palette.
+const (
+	colSurface   = "#fcfcfb"
+	colTextPrim  = "#0b0b0b"
+	colTextSec   = "#52514e"
+	colGrid      = "#e4e3df"
+	colSeries1   = "#2a78d6" // categorical slot 1: blue
+	colSeries2   = "#1baf7a" // slot 2: aqua
+	colSeries3   = "#eda100" // slot 3: yellow
+	colSeries4   = "#008300" // slot 4: green
+	colSeries5   = "#4a3aa7" // slot 5: violet
+	colSeries6   = "#e34948" // slot 6: red
+	colViolinQ   = "#0d366b" // quartile bar: darkest sequential step
+	colViolinDot = "#ffffff" // median dot
+)
+
+// categorical returns the fixed-order categorical slot color for series
+// index i; beyond the defined slots it folds to gray (callers should
+// group such series as "Other").
+func categorical(i int) string {
+	slots := []string{colSeries1, colSeries2, colSeries3, colSeries4, colSeries5, colSeries6}
+	if i >= 0 && i < len(slots) {
+		return slots[i]
+	}
+	return colTextSec
+}
+
+// sequentialRamp is the single-hue blue ramp, steps 100..700, lightest
+// (near-zero) to darkest (maximum).
+var sequentialRamp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// rampColor maps v in [0,1] onto the sequential ramp. Values at or below
+// zero return the chart surface (an empty cell reads as "nothing").
+func rampColor(v float64) string {
+	if v <= 0 {
+		return colSurface
+	}
+	if v >= 1 {
+		return sequentialRamp[len(sequentialRamp)-1]
+	}
+	return sequentialRamp[int(v*float64(len(sequentialRamp)-1)+0.5)]
+}
+
+// intensityRunes are the text-mode magnitude glyphs, lightest to
+// heaviest.
+var intensityRunes = []rune(" .:-=+*#%@")
+
+// intensityRune maps v in [0,1] onto a glyph.
+func intensityRune(v float64) rune {
+	if v <= 0 {
+		return intensityRunes[0]
+	}
+	if v >= 1 {
+		return intensityRunes[len(intensityRunes)-1]
+	}
+	i := int(v*float64(len(intensityRunes)-2)) + 1
+	return intensityRunes[i]
+}
+
+// logScale maps a count onto [0,1] logarithmically against max (counts
+// in communication matrices span orders of magnitude, the paper's
+// heatmaps are effectively log-shaded).
+func logScale(v, max int64) float64 {
+	if v <= 0 || max <= 0 {
+		return 0
+	}
+	if max == 1 {
+		return 1
+	}
+	return math.Log1p(float64(v)) / math.Log1p(float64(max))
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// svgDoc assembles an SVG document of the given size.
+type svgDoc struct {
+	w, h float64
+	b    strings.Builder
+}
+
+func newSVG(w, h float64) *svgDoc {
+	d := &svgDoc{w: w, h: h}
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="system-ui, sans-serif">`,
+		w, h, w, h)
+	d.rect(0, 0, w, h, colSurface, "")
+	return d
+}
+
+func (d *svgDoc) rect(x, y, w, h float64, fill, title string) {
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"`, x, y, w, h, fill)
+	if title == "" {
+		d.b.WriteString("/>")
+		return
+	}
+	fmt.Fprintf(&d.b, `><title>%s</title></rect>`, escape(title))
+}
+
+func (d *svgDoc) roundedRect(x, y, w, h, r float64, fill, title string) {
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" rx="%.1f" fill="%s"`, x, y, w, h, r, fill)
+	if title == "" {
+		d.b.WriteString("/>")
+		return
+	}
+	fmt.Fprintf(&d.b, `><title>%s</title></rect>`, escape(title))
+}
+
+func (d *svgDoc) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (d *svgDoc) circle(cx, cy, r float64, fill string) {
+	fmt.Fprintf(&d.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`, cx, cy, r, fill)
+}
+
+func (d *svgDoc) polygon(points []float64, fill string) {
+	d.b.WriteString(`<polygon points="`)
+	for i := 0; i+1 < len(points); i += 2 {
+		fmt.Fprintf(&d.b, "%.1f,%.1f ", points[i], points[i+1])
+	}
+	fmt.Fprintf(&d.b, `" fill="%s"/>`, fill)
+}
+
+// anchor: "start", "middle", or "end".
+func (d *svgDoc) text(x, y float64, s, fill, anchor string, size float64) {
+	fmt.Fprintf(&d.b, `<text x="%.1f" y="%.1f" fill="%s" text-anchor="%s" font-size="%.0f">%s</text>`,
+		x, y, fill, anchor, size, escape(s))
+}
+
+func (d *svgDoc) String() string {
+	return d.b.String() + "</svg>"
+}
+
+// formatCount renders counts compactly (1234 -> "1.2k").
+func formatCount(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(v)/1e3)
+	case v >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
