@@ -1,0 +1,87 @@
+// Command actorvet runs the FA-BSP static-analysis suite over Go
+// packages and reports violations of the SPMD/actor-model invariants the
+// runtime otherwise only enforces at run time (or not at all):
+//
+//	go run ./cmd/actorvet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. Findings can
+// be suppressed with //actorvet:ignore directives (see README.md,
+// "Static analysis").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"actorprof/internal/analysis"
+)
+
+func main() {
+	os.Exit(vetMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// vetMain is the testable entry point.
+func vetMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("actorvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	rules := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	verbose := fs.Bool("v", false, "include fix hints in text output")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: actorvet [flags] [package-dir|pattern ...]\n")
+		fmt.Fprintf(stderr, "patterns follow the go tool: a directory, or dir/... for the subtree (default ./...)\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s\n\t%s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+	if *rules != "" {
+		var selected []analysis.Analyzer
+		for _, name := range strings.Split(*rules, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.AnalyzerByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "actorvet: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "actorvet: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	var reporter analysis.Reporter = analysis.TextReporter{Verbose: *verbose}
+	if *jsonOut {
+		reporter = analysis.JSONReporter{Indent: true}
+	}
+	if err := reporter.Report(stdout, diags); err != nil {
+		fmt.Fprintf(stderr, "actorvet: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

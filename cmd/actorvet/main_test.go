@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src"
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = vetMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestFixturesExitNonZero runs the CLI over every known-bad fixture and
+// asserts exit code 1 with the right rule ID in the output.
+func TestFixturesExitNonZero(t *testing.T) {
+	for _, rule := range []string{
+		"blockinghandler", "divergedcollective", "rawoffset",
+		"sendafterdone", "unpairedregion",
+	} {
+		t.Run(rule, func(t *testing.T) {
+			code, stdout, stderr := runVet(t, filepath.Join(fixtureRoot, rule))
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stdout, "["+rule+"]") {
+				t.Errorf("output does not name rule %s:\n%s", rule, stdout)
+			}
+			if !strings.Contains(stdout, "bad.go:") {
+				t.Errorf("output does not position into bad.go:\n%s", stdout)
+			}
+		})
+	}
+}
+
+// TestCleanExitsZero asserts a clean tree passes silently.
+func TestCleanExitsZero(t *testing.T) {
+	code, stdout, stderr := runVet(t, filepath.Join(fixtureRoot, "clean"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run should be silent, got:\n%s", stdout)
+	}
+}
+
+// TestJSONOutput asserts -json emits a decodable document.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runVet(t, "-json", filepath.Join(fixtureRoot, "rawoffset"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			Rule string `json:"rule"`
+			Line int    `json:"line"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("-json output invalid: %v\n%s", err, stdout)
+	}
+	if doc.Count != 4 || len(doc.Findings) != 4 {
+		t.Fatalf("count = %d (%d findings), want 4", doc.Count, len(doc.Findings))
+	}
+	for _, f := range doc.Findings {
+		if f.Rule != "rawoffset" {
+			t.Errorf("unexpected rule %s", f.Rule)
+		}
+	}
+}
+
+// TestRuleFilter asserts -rules restricts the suite.
+func TestRuleFilter(t *testing.T) {
+	// The unpairedregion fixture has findings; filtering to a rule that
+	// is silent there must exit 0.
+	code, stdout, _ := runVet(t, "-rules", "sendafterdone", filepath.Join(fixtureRoot, "unpairedregion"))
+	if code != 0 {
+		t.Fatalf("filtered run exit = %d, want 0\n%s", code, stdout)
+	}
+	code, _, stderr := runVet(t, "-rules", "nosuchrule", ".")
+	if code != 2 || !strings.Contains(stderr, "unknown rule") {
+		t.Fatalf("unknown rule: exit = %d, stderr = %s; want 2 with message", code, stderr)
+	}
+}
+
+// TestListRules asserts -list names all five analyzers.
+func TestListRules(t *testing.T) {
+	code, stdout, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, rule := range []string{
+		"blockinghandler", "divergedcollective", "rawoffset",
+		"sendafterdone", "unpairedregion",
+	} {
+		if !strings.Contains(stdout, rule) {
+			t.Errorf("-list missing %s:\n%s", rule, stdout)
+		}
+	}
+}
+
+// TestBadPatternExitsTwo asserts load errors are usage errors, not
+// findings.
+func TestBadPatternExitsTwo(t *testing.T) {
+	code, _, stderr := runVet(t, "no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+}

@@ -1,0 +1,89 @@
+// Package analysis is actorvet's static-analysis framework: a small,
+// stdlib-only (go/ast, go/parser, go/types) analogue of
+// golang.org/x/tools/go/analysis, purpose-built to machine-check the
+// FA-BSP/SPMD programming disciplines that this repository's runtime
+// layers (shmem, conveyor, actor, trace) otherwise enforce only by
+// convention — and whose violations the ActorProf paper can only show
+// after the fact, as corrupted MAIN/PROC/COMM profiles or hung runs.
+//
+// The framework loads packages from go-style patterns (./...), runs a
+// suite of Analyzers over each package's syntax (with best-effort type
+// information), collects position-tagged Diagnostics, honors
+// //actorvet:ignore suppression directives, and renders text or JSON
+// reports. The five shipped analyzers are listed by DefaultAnalyzers;
+// each one's Doc explains the invariant and ties it to the paper's
+// region semantics (see DESIGN.md "FA-BSP invariants").
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Severity classifies a diagnostic.
+type Severity string
+
+// Severity levels. Errors are invariant violations that deadlock or
+// corrupt a run; warnings are discipline violations that degrade
+// profiles or bypass safety rails.
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// Diagnostic is one finding: a rule violation at a source position.
+type Diagnostic struct {
+	// Rule is the analyzer's name (the stable rule ID).
+	Rule string `json:"rule"`
+	// Severity is error or warning.
+	Severity Severity `json:"severity"`
+	// File is the path as loaded (relative to the working directory
+	// when the patterns were relative).
+	File string `json:"file"`
+	// Line and Col are 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message states the violation.
+	Message string `json:"message"`
+	// Fix, when non-empty, hints at the remedy.
+	Fix string `json:"fix,omitempty"`
+}
+
+// Position renders the file:line:col prefix.
+func (d Diagnostic) Position() string {
+	return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+}
+
+// Analyzer checks one invariant over one package at a time.
+type Analyzer interface {
+	// Name is the stable rule ID (lowercase, no spaces).
+	Name() string
+	// Doc is a one-paragraph description of the invariant.
+	Doc() string
+	// Run inspects pass.Pkg and reports findings via pass.Report.
+	Run(pass *Pass)
+}
+
+// Pass carries one (package, analyzer) execution.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer Analyzer
+	severity Severity
+	sink     func(Diagnostic)
+}
+
+// Report records a finding at pos with a fix hint (may be empty).
+func (p *Pass) Report(pos token.Pos, fix, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.sink(Diagnostic{
+		Rule:     p.analyzer.Name(),
+		Severity: p.severity,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}

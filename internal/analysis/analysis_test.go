@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loc is an expected finding position within a fixture's bad.go.
+type loc struct{ line, col int }
+
+// analyzerGolden maps each rule to the exact findings its fixture must
+// produce — rule IDs and positions are part of the contract (README
+// documents the directive placement relative to them).
+var analyzerGolden = map[string][]loc{
+	"divergedcollective": {{13, 3}, {21, 12}, {28, 10}, {36, 14}, {43, 3}},
+	"blockinghandler":    {{11, 3}, {12, 3}, {23, 2}, {28, 3}},
+	"sendafterdone":      {{11, 2}, {16, 2}, {21, 2}, {27, 3}},
+	"unpairedregion":     {{12, 2}, {24, 2}, {41, 9}, {46, 2}, {47, 6}},
+	"rawoffset":          {{7, 17}, {8, 23}, {9, 21}, {10, 32}},
+}
+
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := Load([]string{filepath.Join("testdata", "src", name)})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs
+}
+
+// TestAnalyzerGolden runs each analyzer alone over its known-bad fixture
+// and asserts the exact rule IDs and positions.
+func TestAnalyzerGolden(t *testing.T) {
+	for rule, want := range analyzerGolden {
+		t.Run(rule, func(t *testing.T) {
+			a := AnalyzerByName(rule)
+			if a == nil {
+				t.Fatalf("no analyzer named %s", rule)
+			}
+			pkgs := loadFixture(t, rule)
+			diags := Run(pkgs, []Analyzer{a})
+			wantFile := filepath.Join("testdata", "src", rule, "bad.go")
+			if len(diags) != len(want) {
+				t.Fatalf("got %d findings, want %d: %+v", len(diags), len(want), diags)
+			}
+			for i, d := range diags {
+				if d.Rule != rule {
+					t.Errorf("finding %d: rule = %s, want %s", i, d.Rule, rule)
+				}
+				if d.File != wantFile {
+					t.Errorf("finding %d: file = %s, want %s", i, d.File, wantFile)
+				}
+				if d.Line != want[i].line || d.Col != want[i].col {
+					t.Errorf("finding %d: at %d:%d, want %d:%d (%s)",
+						i, d.Line, d.Col, want[i].line, want[i].col, d.Message)
+				}
+				if d.Message == "" || d.Fix == "" {
+					t.Errorf("finding %d: empty message or fix hint: %+v", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestFullSuiteOnFixtures guards against cross-rule noise: the complete
+// suite over each bad fixture must report exactly the fixture's own
+// rule's findings and nothing else.
+func TestFullSuiteOnFixtures(t *testing.T) {
+	for rule, want := range analyzerGolden {
+		t.Run(rule, func(t *testing.T) {
+			diags := Run(loadFixture(t, rule), DefaultAnalyzers())
+			if len(diags) != len(want) {
+				t.Fatalf("full suite: got %d findings, want %d: %+v", len(diags), len(want), diags)
+			}
+			for _, d := range diags {
+				if d.Rule != rule {
+					t.Errorf("full suite: unexpected rule %s at %s", d.Rule, d.Position())
+				}
+			}
+		})
+	}
+}
+
+// TestCleanFixture asserts zero findings on the well-behaved program.
+func TestCleanFixture(t *testing.T) {
+	if diags := Run(loadFixture(t, "clean"), DefaultAnalyzers()); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %+v", diags)
+	}
+}
+
+// TestIgnoreDirectives asserts the three suppression forms work and a
+// mismatched rule name does not over-suppress.
+func TestIgnoreDirectives(t *testing.T) {
+	diags := Run(loadFixture(t, "ignored"), DefaultAnalyzers())
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly the unsuppressed one: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "divergedcollective" || d.Line != 27 || d.Col != 3 {
+		t.Fatalf("surviving finding = %s at %d:%d, want divergedcollective at 27:3", d.Rule, d.Line, d.Col)
+	}
+}
+
+// TestSeverities pins the severity split: deadlock rules are errors,
+// discipline rules are warnings.
+func TestSeverities(t *testing.T) {
+	want := map[string]Severity{
+		"divergedcollective": SeverityError,
+		"blockinghandler":    SeverityError,
+		"sendafterdone":      SeverityError,
+		"unpairedregion":     SeverityWarning,
+		"rawoffset":          SeverityWarning,
+	}
+	for _, a := range DefaultAnalyzers() {
+		if got := severityOf(a); got != want[a.Name()] {
+			t.Errorf("%s: severity %s, want %s", a.Name(), got, want[a.Name()])
+		}
+	}
+}
+
+// TestLoadPatterns covers the loader's go-tool pattern semantics.
+func TestLoadPatterns(t *testing.T) {
+	// ./... from this package skips testdata, finding only the package
+	// itself.
+	pkgs, err := Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "analysis" {
+		t.Fatalf("Load ./... = %d packages (first %q), want just analysis", len(pkgs), pkgs[0].Name)
+	}
+	if pkgs[0].Path != "actorprof/internal/analysis" {
+		t.Errorf("import path = %q, want actorprof/internal/analysis", pkgs[0].Path)
+	}
+
+	// An explicit testdata subtree loads all fixtures.
+	pkgs, err = Load([]string{filepath.Join("testdata", "src") + "/..."})
+	if err != nil {
+		t.Fatalf("Load testdata/src/...: %v", err)
+	}
+	if len(pkgs) != len(analyzerGolden)+2 { // five bad + clean + ignored
+		t.Fatalf("got %d fixture packages, want %d", len(pkgs), len(analyzerGolden)+2)
+	}
+
+	// Naming a Go-free directory explicitly is an error.
+	if _, err := Load([]string{filepath.Join("testdata", "src")}); err == nil {
+		t.Fatal("Load of a directory without Go files should fail")
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// callee splits a call into its selector parts: for pe.Barrier() it
+// returns (pe expression, "Barrier", true); for a bare f() it returns
+// (nil, "f", true); for anything unnameable (calls of function values
+// returned by calls, conversions, etc.) ok is false.
+func callee(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fn.X, fn.Sel.Name, true
+	case *ast.Ident:
+		return nil, fn.Name, true
+	case *ast.IndexExpr: // generic instantiation: NewSelector[int64](...)
+		if sel, isSel := unparen(fn.X).(*ast.SelectorExpr); isSel {
+			return sel.X, sel.Sel.Name, true
+		}
+		if id, isIdent := unparen(fn.X).(*ast.Ident); isIdent {
+			return nil, id.Name, true
+		}
+	}
+	return nil, "", false
+}
+
+// qualifierPath resolves recv as a package qualifier and returns the
+// imported package's path. It prefers type information (Info.Uses maps
+// the qualifier ident to a *types.PkgName) and falls back to matching
+// the file's imports by name, so it works even where type checking gave
+// up. Returns "" when recv is not a package qualifier.
+func qualifierPath(pkg *Package, file *ast.File, recv ast.Expr) string {
+	id, ok := unparen(recv).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, found := pkg.Info.Uses[id]; found {
+		if pn, isPkg := obj.(*types.PkgName); isPkg {
+			return pn.Imported().Path()
+		}
+		return "" // resolved to a variable/const/etc, not a package
+	}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// pathHasSuffix reports whether an import path is pkg or ends in /pkg —
+// "actorprof/internal/shmem" matches suffix "internal/shmem", and a
+// fixture that imports plain "shmem" matches suffix "shmem".
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// exprKey renders a receiver expression to a stable string key — pe,
+// rt.pc, s.convs — for grouping calls by receiver. Unrenderable shapes
+// (calls, index expressions with computed indices) return "".
+func exprKey(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// litOrConstKey renders a mailbox-index expression to a comparable key:
+// integer literals by value ("0"), named constants/variables by name
+// ("mbDart"), anything computed as "".
+func litOrConstKey(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}
+
+// funcBodies yields every function body in the file along with the
+// enclosing function's type: declarations and, when walkLits is true,
+// function literals that are not already nested inside another yielded
+// body. Analyzers that treat literals as inline (executing at their
+// lexical position) should walk them from within the enclosing body
+// instead and pass walkLits=false here.
+func funcBodies(f *ast.File, walkLits bool, visit func(ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Type, fd.Body)
+	}
+	if !walkLits {
+		return
+	}
+	for _, decl := range f.Decls {
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				visit(fl.Type, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+// containsCall reports whether expr contains a call to a method named
+// name (on any receiver).
+func containsCall(expr ast.Node, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, callName, nameOK := callee(call); nameOK && callName == name {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// unparen strips parentheses from an expression (ast.Unparen arrived in
+// Go 1.23; this repo's language floor is 1.22).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

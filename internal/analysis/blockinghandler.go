@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/shmem"
+)
+
+// BlockingHandler flags actor/selector message handlers that call
+// blocking operations. Handlers execute one at a time inside conveyor
+// progress (the paper's PROC region, carved out of COMM): a handler that
+// blocks on a barrier, a nested Finish, a wait-until, or conveyor
+// advance/drain stalls the very progress loop that would deliver the
+// messages it is waiting for — deadlocking the PE — and meanwhile the
+// stalled cycles are attributed to T_PROC, poisoning the profile the
+// paper's Figures 12-13 depend on.
+type BlockingHandler struct{}
+
+// Name implements Analyzer.
+func (BlockingHandler) Name() string { return "blockinghandler" }
+
+// Doc implements Analyzer.
+func (BlockingHandler) Doc() string {
+	return "message handler (func passed to Selector.Process) calls a blocking operation (barrier, collective, Finish, wait-until, conveyor advance); handlers run inside conveyor progress and must complete without blocking"
+}
+
+const blockingFix = "move the blocking call out of the handler into the MAIN segment (before Done) or restructure with an extra mailbox; handlers may only compute and Send"
+
+// handlerBlockedCalls is the union of call names a handler must not make.
+func handlerBlockedCalls() map[string]bool {
+	set := make(map[string]bool)
+	for _, m := range shmem.BlockingMethods() {
+		set[m] = true
+	}
+	for _, m := range actor.HandlerUnsafeMethods() {
+		set[m] = true
+	}
+	for _, fn := range shmem.CollectiveFuncs() {
+		set[fn] = true // AllocInt64Array blocks in Malloc's barrier
+	}
+	// Int64Array.WaitUntil wraps WaitUntilInt64; same spin, same deadlock.
+	set["WaitUntil"] = true
+	return set
+}
+
+// Run implements Analyzer.
+func (a BlockingHandler) Run(pass *Pass) {
+	blocked := handlerBlockedCalls()
+	for _, file := range pass.Pkg.Files {
+		// Map handler functions declared as named functions in this file,
+		// so Process(0, handleMsg) can be traced to handleMsg's body.
+		decls := make(map[string]*ast.FuncDecl)
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := callee(call)
+			if !ok || recv == nil || name != "Process" || len(call.Args) != 2 {
+				return true
+			}
+			// Process as a package-qualified function is something else.
+			if qualifierPath(pass.Pkg, file, recv) != "" {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch h := unparen(call.Args[1]).(type) {
+			case *ast.FuncLit:
+				body = h.Body
+			case *ast.Ident:
+				if fd := decls[h.Name]; fd != nil {
+					body = fd.Body
+				}
+			}
+			if body == nil {
+				return true
+			}
+			a.checkHandler(pass, body, blocked)
+			return true
+		})
+	}
+}
+
+// checkHandler reports blocking calls anywhere inside the handler body,
+// including closures it defines (they run on the same goroutine).
+func (a BlockingHandler) checkHandler(pass *Pass, body *ast.BlockStmt, blocked map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := callee(call)
+		if !ok || !blocked[name] {
+			return true
+		}
+		label := name
+		if recv != nil {
+			if key := exprKey(recv); key != "" {
+				label = key + "." + name
+			}
+		}
+		pass.Report(call.Pos(), blockingFix,
+			"message handler calls blocking %s; handlers run inside conveyor progress, so blocking here deadlocks the PE and corrupts T_PROC attribution", label)
+		return true
+	})
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives:
+//
+//	//actorvet:ignore rule[,rule...]      suppress on this line or the next
+//	//actorvet:ignore                     suppress every rule likewise
+//	//actorvet:ignore-file rule[,rule...] suppress for the whole file
+//
+// The line-scoped form works both as a trailing comment on the offending
+// line and as a comment on the line directly above it (the gofmt-friendly
+// placement). Deliberate violations — fixtures, the conveyor transport's
+// raw offset arithmetic — carry directives so that actorvet stays
+// zero-findings on the repository itself.
+
+const (
+	ignoreDirective     = "//actorvet:ignore"
+	ignoreFileDirective = "//actorvet:ignore-file"
+)
+
+// ignoreIndex records, per file, which rules are suppressed where.
+type ignoreIndex struct {
+	// byLine maps file -> line -> rules suppressed at that line. The
+	// empty-string rule means "all rules".
+	byLine map[string]map[int]map[string]bool
+	// byFile maps file -> rules suppressed everywhere in it.
+	byFile map[string]map[string]bool
+}
+
+// buildIgnoreIndex scans every comment in the package for directives.
+func buildIgnoreIndex(pkg *Package) *ignoreIndex {
+	idx := &ignoreIndex{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx.addComment(pkg, c)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *ignoreIndex) addComment(pkg *Package, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	pos := pkg.Fset.Position(c.Pos())
+	if rest, ok := cutDirective(text, ignoreFileDirective); ok {
+		rules := idx.byFile[pos.Filename]
+		if rules == nil {
+			rules = make(map[string]bool)
+			idx.byFile[pos.Filename] = rules
+		}
+		addRules(rules, rest)
+		return
+	}
+	if rest, ok := cutDirective(text, ignoreDirective); ok {
+		lines := idx.byLine[pos.Filename]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			idx.byLine[pos.Filename] = lines
+		}
+		rules := lines[pos.Line]
+		if rules == nil {
+			rules = make(map[string]bool)
+			lines[pos.Line] = rules
+		}
+		addRules(rules, rest)
+	}
+}
+
+// cutDirective matches text against the directive followed by an
+// argument list, end of comment, or whitespace — so that
+// "//actorvet:ignore-file" is not mistaken for "//actorvet:ignore" with
+// argument "-file".
+func cutDirective(text, directive string) (rest string, ok bool) {
+	if !strings.HasPrefix(text, directive) {
+		return "", false
+	}
+	rest = text[len(directive):]
+	if rest == "" {
+		return "", true
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func addRules(set map[string]bool, args string) {
+	if args == "" {
+		set[""] = true // all rules
+		return
+	}
+	// Anything after the rule list (e.g. a prose justification) is
+	// ignored: "//actorvet:ignore rawoffset transport owns the layout".
+	args, _, _ = strings.Cut(args, " ")
+	for _, r := range strings.Split(args, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			set[r] = true
+		}
+	}
+}
+
+// suppressed reports whether d is covered by a directive: file-wide, on
+// d's own line, or on the line above.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	if match(idx.byFile[d.File], d.Rule) {
+		return true
+	}
+	lines := idx.byLine[d.File]
+	if lines == nil {
+		return false
+	}
+	return match(lines[d.Line], d.Rule) || match(lines[d.Line-1], d.Rule)
+}
+
+func match(set map[string]bool, rule string) bool {
+	return set != nil && (set[""] || set[rule])
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded Go package: parsed syntax plus best-effort type
+// information.
+type Package struct {
+	// Dir is the directory as given (possibly relative).
+	Dir string
+	// Path is the import path when the directory sits inside a module,
+	// otherwise the cleaned directory path.
+	Path string
+	// Name is the package clause name of the first file.
+	Name string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Info holds whatever type information the permissive check could
+	// establish (identifier uses/defs; package-name resolution always
+	// works, cross-package member resolution does not — see stubImporter).
+	Info *types.Info
+}
+
+// Load parses the packages matched by patterns. Patterns follow the go
+// tool's shape: a directory ("./internal/shmem"), or a directory with a
+// /... suffix ("./...") meaning the directory and everything below it.
+// Directories named testdata, and directories whose name starts with "."
+// or "_", are never matched by /... (exactly like the go tool); naming
+// such a directory explicitly loads it. Test files (_test.go) are always
+// skipped. Directories containing no buildable Go files are skipped
+// silently under /..., but naming one explicitly is an error.
+func Load(patterns []string) ([]*Package, error) {
+	dirs, explicit, err := expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			if explicit[dir] {
+				return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+			}
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand resolves patterns to a sorted, de-duplicated directory list.
+// explicit marks directories that were named directly (not via /...).
+func expand(patterns []string) (dirs []string, explicit map[string]bool, err error) {
+	seen := make(map[string]bool)
+	explicit = make(map[string]bool)
+	add := func(dir string, isExplicit bool) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		if isExplicit {
+			explicit[dir] = true
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Clean(rest)
+			if rest == "" {
+				root = "."
+			}
+			walkErr := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path, false)
+				return nil
+			})
+			if walkErr != nil {
+				return nil, nil, fmt.Errorf("analysis: expanding %s: %w", pat, walkErr)
+			}
+			continue
+		}
+		fi, statErr := os.Stat(pat)
+		if statErr != nil {
+			return nil, nil, fmt.Errorf("analysis: %w", statErr)
+		}
+		if !fi.IsDir() {
+			return nil, nil, fmt.Errorf("analysis: %s is not a directory", pat)
+		}
+		add(pat, true)
+	}
+	sort.Strings(dirs)
+	return dirs, explicit, nil
+}
+
+// loadDir parses one directory as a package. Returns (nil, nil) when the
+// directory holds no non-test Go files.
+func loadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{
+		Dir:   dir,
+		Path:  importPath(dir),
+		Name:  files[0].Name.Name,
+		Fset:  fset,
+		Files: files,
+	}
+	pkg.Info = typeCheck(pkg)
+	return pkg, nil
+}
+
+// importPath derives the package's import path by locating the enclosing
+// go.mod. Falls back to the cleaned directory when no module is found.
+func importPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	for root := abs; ; {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			if mod := modulePath(string(data)); mod != "" {
+				rel, err := filepath.Rel(root, abs)
+				if err == nil {
+					if rel == "." {
+						return mod
+					}
+					return mod + "/" + filepath.ToSlash(rel)
+				}
+			}
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			break
+		}
+		root = parent
+	}
+	return filepath.ToSlash(filepath.Clean(dir))
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// typeCheck runs go/types over the package in permissive mode: type
+// errors are discarded and imports resolve to empty stub packages, so
+// checking always "succeeds" offline and without compiled export data.
+// The resulting Info reliably resolves package-name qualifiers (the
+// `shmem` in shmem.AllocInt64Array) and local definitions, which is all
+// the analyzers need beyond syntax.
+func typeCheck(pkg *Package) *types.Info {
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: stubImporter{},
+		Error:    func(error) {}, // permissive: collect what resolves
+	}
+	// Check's error mirrors the ignored callback errors; Info is
+	// populated for everything that did resolve either way.
+	_, _ = conf.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	return info
+}
+
+// stubImporter satisfies every import with an empty, complete package so
+// that type checking never needs export data or network access. Member
+// lookups on stubs fail (and are swallowed by the permissive Error
+// callback), but the import's PkgName object still lands in Info.Uses,
+// which is what qualifierPath relies on.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	if p, err := importer.Default().Import(path); err == nil {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	return p, nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"actorprof/internal/shmem"
+)
+
+// RawOffset flags raw symmetric-heap offset arithmetic: RMA calls whose
+// byte-offset argument is computed inline (off+8*i and friends) instead
+// of going through the typed Int64Array accessors. Hand-rolled offsets
+// bypass Int64Array's bounds checks, silently alias neighboring
+// symmetric objects on every PE, and — because ensure() grows heaps on
+// demand — turn an off-by-one into heap growth instead of a crash. The
+// RMA entry points and their offset-parameter positions come from
+// shmem.RawOffsetMethods.
+//
+// The shmem package itself (the typed layer's implementation) is exempt;
+// other deliberate low-level code (the conveyor transport owns its slot
+// layout) carries //actorvet:ignore-file directives.
+type RawOffset struct{}
+
+// Name implements Analyzer.
+func (RawOffset) Name() string { return "rawoffset" }
+
+// Doc implements Analyzer.
+func (RawOffset) Doc() string {
+	return "raw symmetric-heap offset arithmetic passed to an RMA call; bypasses the typed Int64Array bounds checks"
+}
+
+const rawOffsetFix = "use shmem.AllocInt64Array and its Get/Set/PutRemote/GetRemote/AddRemote/WaitUntil accessors, which bounds-check every element index"
+
+// Run implements Analyzer.
+func (a RawOffset) Run(pass *Pass) {
+	if pathHasSuffix(pass.Pkg.Path, "internal/shmem") {
+		return // the typed layer's own implementation
+	}
+	methods := shmem.RawOffsetMethods()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := callee(call)
+			if !ok || recv == nil {
+				return true
+			}
+			argIdx, isRMA := methods[name]
+			if !isRMA || argIdx >= len(call.Args) {
+				return true
+			}
+			if qualifierPath(pass.Pkg, file, recv) != "" {
+				return true // package-qualified function, not a PE method
+			}
+			offset := call.Args[argIdx]
+			if !isOffsetArithmetic(offset) {
+				return true
+			}
+			label := name
+			if key := exprKey(recv); key != "" {
+				label = key + "." + name
+			}
+			pass.Report(offset.Pos(), rawOffsetFix,
+				"raw symmetric-heap offset arithmetic in %s bypasses the typed Int64Array bounds checks", label)
+			return true
+		})
+	}
+}
+
+// isOffsetArithmetic reports whether e computes a byte offset inline: it
+// contains an arithmetic binary expression. A bare identifier, literal,
+// field, or call result (a.Offset()) passes clean.
+func isOffsetArithmetic(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+				token.SHL, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

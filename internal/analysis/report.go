@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Reporter renders a diagnostic list.
+type Reporter interface {
+	Report(w io.Writer, diags []Diagnostic) error
+}
+
+// TextReporter renders one finding per line in the familiar
+// file:line:col: severity: message [rule] shape, with indented fix
+// hints, followed by a summary count.
+type TextReporter struct {
+	// Verbose adds each finding's fix hint on a second line.
+	Verbose bool
+}
+
+// Report implements Reporter.
+func (r TextReporter) Report(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s: %s: %s [%s]\n", d.Position(), d.Severity, d.Message, d.Rule); err != nil {
+			return err
+		}
+		if r.Verbose && d.Fix != "" {
+			if _, err := fmt.Fprintf(w, "\tfix: %s\n", d.Fix); err != nil {
+				return err
+			}
+		}
+	}
+	if len(diags) > 0 {
+		if _, err := fmt.Fprintf(w, "%d finding(s)\n", len(diags)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONReporter renders the diagnostics as a stable JSON document, for CI
+// annotation tooling and editor integration.
+type JSONReporter struct {
+	// Indent pretty-prints when true.
+	Indent bool
+}
+
+// jsonReport is the document shape: a count plus the findings, so that
+// an empty run still emits a well-formed object rather than null.
+type jsonReport struct {
+	Count    int          `json:"count"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// Report implements Reporter.
+func (r JSONReporter) Report(w io.Writer, diags []Diagnostic) error {
+	doc := jsonReport{Count: len(diags), Findings: diags}
+	if doc.Findings == nil {
+		doc.Findings = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	if r.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(doc)
+}

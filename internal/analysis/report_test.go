@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Rule: "divergedcollective", Severity: SeverityError,
+			File: "pkg/a.go", Line: 13, Col: 3,
+			Message: "collective pe.Barrier is only reachable under rank-dependent control flow",
+			Fix:     "hoist the collective",
+		},
+		{
+			Rule: "rawoffset", Severity: SeverityWarning,
+			File: "pkg/b.go", Line: 7, Col: 17,
+			Message: "raw symmetric-heap offset arithmetic",
+		},
+	}
+}
+
+// TestTextReporterGolden pins the text format byte-for-byte.
+func TestTextReporterGolden(t *testing.T) {
+	var b strings.Builder
+	if err := (TextReporter{Verbose: true}).Report(&b, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	want := "pkg/a.go:13:3: error: collective pe.Barrier is only reachable under rank-dependent control flow [divergedcollective]\n" +
+		"\tfix: hoist the collective\n" +
+		"pkg/b.go:7:17: warning: raw symmetric-heap offset arithmetic [rawoffset]\n" +
+		"2 finding(s)\n"
+	if b.String() != want {
+		t.Errorf("text report:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	b.Reset()
+	if err := (TextReporter{}).Report(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty run should print nothing, got %q", b.String())
+	}
+}
+
+// TestJSONReporterGolden pins the JSON document shape byte-for-byte.
+func TestJSONReporterGolden(t *testing.T) {
+	var b strings.Builder
+	if err := (JSONReporter{}).Report(&b, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"count":2,"findings":[` +
+		`{"rule":"divergedcollective","severity":"error","file":"pkg/a.go","line":13,"col":3,` +
+		`"message":"collective pe.Barrier is only reachable under rank-dependent control flow","fix":"hoist the collective"},` +
+		`{"rule":"rawoffset","severity":"warning","file":"pkg/b.go","line":7,"col":17,` +
+		`"message":"raw symmetric-heap offset arithmetic"}]}` + "\n"
+	if b.String() != want {
+		t.Errorf("json report:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	b.Reset()
+	if err := (JSONReporter{}).Report(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != `{"count":0,"findings":[]}`+"\n" {
+		t.Errorf("empty json report = %q", b.String())
+	}
+}
+
+// TestJSONReporterRoundTripsFixture runs the suite over a fixture and
+// checks the JSON output decodes back to the same diagnostics.
+func TestJSONReporterRoundTripsFixture(t *testing.T) {
+	pkgs, err := Load([]string{filepath.Join("testdata", "src", "rawoffset")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, DefaultAnalyzers())
+	var b strings.Builder
+	if err := (JSONReporter{Indent: true}).Report(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Count    int          `json:"count"`
+		Findings []Diagnostic `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("reporter emitted invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Count != len(diags) || len(doc.Findings) != len(diags) {
+		t.Fatalf("round trip count = %d/%d, want %d", doc.Count, len(doc.Findings), len(diags))
+	}
+	for i := range diags {
+		if doc.Findings[i] != diags[i] {
+			t.Errorf("finding %d round-tripped to %+v, want %+v", i, doc.Findings[i], diags[i])
+		}
+	}
+}

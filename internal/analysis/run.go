@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// Run executes every analyzer over every package, drops suppressed
+// diagnostics, and returns the rest sorted by file, line, column, rule.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := buildIgnoreIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Pkg:      pkg,
+				analyzer: a,
+				severity: severityOf(a),
+				sink: func(d Diagnostic) {
+					if !idx.suppressed(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// severityLevels maps rule IDs to non-default severities; everything
+// else is an error.
+var severityLevels = map[string]Severity{
+	"rawoffset":      SeverityWarning,
+	"unpairedregion": SeverityWarning,
+}
+
+func severityOf(a Analyzer) Severity {
+	if s, ok := severityLevels[a.Name()]; ok {
+		return s
+	}
+	return SeverityError
+}

@@ -1,0 +1,22 @@
+package analysis
+
+// DefaultAnalyzers returns the full actorvet suite, in rule-ID order.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		BlockingHandler{},
+		DivergedCollective{},
+		RawOffset{},
+		SendAfterDone{},
+		UnpairedRegion{},
+	}
+}
+
+// AnalyzerByName returns the analyzer with the given rule ID, or nil.
+func AnalyzerByName(name string) Analyzer {
+	for _, a := range DefaultAnalyzers() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}

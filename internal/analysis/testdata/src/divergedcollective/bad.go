@@ -1,0 +1,52 @@
+// Package fixture: every finding here is a deliberate SPMD divergence.
+package fixture
+
+import (
+	"actorprof/internal/actor"
+	"actorprof/internal/shmem"
+	"actorprof/internal/trace"
+)
+
+func rankGuardedBarrier(pe *shmem.PE) {
+	pe.Barrier() // fine: unconditional
+	if pe.Rank() == 0 {
+		pe.Barrier() // line 13: classic diverged barrier
+	}
+}
+
+func taintedVariable(pe *shmem.PE) {
+	me := pe.Rank()
+	half := me * 2
+	if half > 4 {
+		total := pe.AllReduceInt64(shmem.OpSum, 1) // line 21: diverged reduction
+		_ = total
+	}
+}
+
+func rankBoundLoop(pe *shmem.PE, rt *actor.Runtime) {
+	for i := 0; i < pe.Rank(); i++ {
+		arr := shmem.AllocInt64Array(pe, 8) // line 28: diverged symmetric alloc
+		_ = arr
+	}
+}
+
+func rankSwitch(pe *shmem.PE, cfg trace.Config) {
+	switch pe.Rank() {
+	case 0:
+		coll, _ := trace.NewCollector(cfg, pe.World().Machine()) // line 36: diverged collector
+		_ = coll
+	}
+}
+
+func divergedFinish(pe *shmem.PE, rt *actor.Runtime) {
+	if pe.Node() == 1 {
+		rt.Finish(func() {}) // line 43: diverged finish barrier
+	}
+}
+
+func cleanCollective(pe *shmem.PE) int64 {
+	if pe.Rank() == 0 {
+		println("rank-guarded logging is fine")
+	}
+	return pe.AllReduceInt64(shmem.OpMax, int64(pe.Rank()))
+}

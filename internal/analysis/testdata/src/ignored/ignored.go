@@ -1,0 +1,29 @@
+// Package fixture: deliberate violations suppressed by directives, plus
+// one violation left live to prove directives do not over-suppress.
+package fixture
+
+import "actorprof/internal/shmem"
+
+func suppressedInline(pe *shmem.PE) {
+	if pe.Rank() == 0 {
+		pe.Barrier() //actorvet:ignore divergedcollective
+	}
+}
+
+func suppressedLineAbove(pe *shmem.PE, base, i int) {
+	//actorvet:ignore rawoffset slot layout is owned here
+	pe.PutInt64(1, base+8*i, 7)
+}
+
+func suppressedAllRules(pe *shmem.PE) {
+	if pe.Rank() == 1 {
+		//actorvet:ignore
+		pe.Barrier()
+	}
+}
+
+func wrongRuleDoesNotSuppress(pe *shmem.PE) {
+	if pe.Rank() == 2 {
+		pe.Barrier() //actorvet:ignore rawoffset (line 27: still reported)
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixture: hand-rolled symmetric-heap offset arithmetic.
+package fixture
+
+import "actorprof/internal/shmem"
+
+func rawArithmetic(pe *shmem.PE, base int, i int) {
+	pe.PutInt64(1, base+8*i, 42)          // line 7: put at computed offset
+	v := pe.LoadInt64(0, base+i<<3)       // line 8: load at computed offset
+	pe.StoreInt64Local(base+(i%4)*8, v)   // line 9: local store at computed offset
+	_ = pe.AtomicFetchAddInt64(2, 8*i, 1) // line 10: fetch-add at computed offset
+}
+
+func cleanUses(pe *shmem.PE, off int) {
+	pe.PutInt64(1, off, 42) // fine: opaque offset
+	_ = pe.GetInt64(0, off) // fine
+	arr := shmem.AllocInt64Array(pe, 8)
+	arr.PutRemote(1, 3, 42) // fine: typed accessor bounds-checks
+}

@@ -1,0 +1,41 @@
+// Package fixture: sends racing past their Done promise.
+package fixture
+
+import "actorprof/internal/actor"
+
+const mbCredit = 1
+
+func straightLine(sel *actor.Selector[int64]) {
+	sel.Send(0, 1, 2) // fine: before Done
+	sel.Done(0)
+	sel.Send(0, 1, 2) // line 11: send after Done(0)
+}
+
+func constMailbox(sel *actor.Selector[int64]) {
+	sel.Done(mbCredit)
+	sel.Send(mbCredit, 7, 0) // line 16: send after Done(mbCredit)
+}
+
+func afterDoneAll(sel *actor.Selector[int64]) {
+	sel.DoneAll()
+	sel.Send(2, 9, 3) // line 21: send after DoneAll
+}
+
+func inLoopTail(sel *actor.Selector[int64]) {
+	sel.Done(0)
+	for i := 0; i < 4; i++ {
+		sel.Send(0, int64(i), i) // line 27: send in loop after Done
+	}
+}
+
+func otherMailboxIsFine(sel *actor.Selector[int64]) {
+	sel.Done(0)
+	sel.Send(1, 1, 2) // fine: different mailbox
+}
+
+func conditionalDoneDoesNotLeak(sel *actor.Selector[int64], flush bool) {
+	if flush {
+		sel.Done(0)
+	}
+	sel.Send(0, 1, 2) // fine: Done was conditional
+}

@@ -1,0 +1,50 @@
+// Package fixture: profiling and allocation regions left open.
+package fixture
+
+import (
+	"actorprof/internal/actor"
+	"actorprof/internal/papi"
+	"actorprof/internal/shmem"
+	"actorprof/internal/trace"
+)
+
+func pauseWithoutResume(rt *actor.Runtime) {
+	rt.Pause() // line 12: never resumed
+	loadGraph()
+}
+
+func pausedAndResumed(rt *actor.Runtime) {
+	rt.Pause()
+	loadGraph()
+	rt.Resume()
+}
+
+func startWithoutStop(engine *papi.Engine) {
+	es, _ := papi.NewEventSet(engine, papi.TotalInstructions)
+	es.Start() // line 24: event set never read out
+	loadGraph()
+}
+
+func startStopBalanced(engine *papi.Engine) []int64 {
+	es, _ := papi.NewEventSet(engine, papi.TotalInstructions)
+	es.Start()
+	loadGraph()
+	return es.Stop()
+}
+
+func selectorStartIsNotAnEventSet(sel *actor.Selector[int64]) {
+	sel.Start() // fine: selector lifecycle, not a PAPI region
+	sel.Done(0)
+}
+
+func segmentEnterWithoutExit(pc *trace.PECollector) {
+	tok := pc.SegmentEnter("load", 0) // line 41: segment never flushed
+	_ = tok
+}
+
+func discardedMalloc(pe *shmem.PE) {
+	pe.Malloc(64)     // line 46: offset dropped on the floor
+	_ = pe.Malloc(32) // line 47: blank-assigned
+	off := pe.Malloc(16)
+	_ = off // fine: kept (even if only referenced once)
+}

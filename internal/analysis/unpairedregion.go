@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/trace"
+)
+
+// UnpairedRegion flags profiling/allocation regions that are opened but
+// never closed within a function:
+//
+//   - Runtime.Pause without a matching Resume on the same receiver — the
+//     rest of the run's trace is silently discarded;
+//   - papi EventSet Start without Stop (receivers are traced back to a
+//     NewEventSet call, so Selector.Start is never confused with it) —
+//     the counter region never reads out, and the set stays locked;
+//   - trace SegmentEnter without SegmentExit — the segment never flushes
+//     into segments.txt;
+//   - a collective Malloc whose result is discarded — the symmetric
+//     allocation is unreferencable on every PE forever.
+//
+// The pairing is function-scoped by design: a region that genuinely
+// spans functions is rare enough to deserve an //actorvet:ignore with a
+// justification.
+type UnpairedRegion struct{}
+
+// Name implements Analyzer.
+func (UnpairedRegion) Name() string { return "unpairedregion" }
+
+// Doc implements Analyzer.
+func (UnpairedRegion) Doc() string {
+	return "unbalanced region within a function: Pause without Resume, PAPI EventSet Start without Stop, SegmentEnter without SegmentExit, or a Malloc whose result is discarded"
+}
+
+// pairSpec describes one opener/closer method pair.
+type pairSpec struct {
+	open, close string
+	// eventSetOnly restricts the pair to receivers assigned from
+	// NewEventSet, to disambiguate generic names like Start.
+	eventSetOnly bool
+	message      string
+	fix          string
+}
+
+func pairSpecs() []pairSpec {
+	var specs []pairSpec
+	for open, close := range actor.PairedMethods() {
+		specs = append(specs, pairSpec{
+			open: open, close: close,
+			message: "%s.%s without a matching %s in this function; trace collection stays suspended and the rest of the run's profile is silently dropped",
+			fix:     "add a deferred or trailing %s, or ignore with a justification if the region intentionally spans functions",
+		})
+	}
+	for open, close := range trace.PairedMethods() {
+		specs = append(specs, pairSpec{
+			open: open, close: close,
+			message: "%s.%s without a matching %s in this function; the segment never flushes its cycle/PAPI deltas",
+			fix:     "bracket the region with %s (or use Runtime.Segment, which pairs them for you)",
+		})
+	}
+	specs = append(specs, pairSpec{
+		open: "Start", close: "Stop", eventSetOnly: true,
+		message: "%s.%s without a matching %s in this function; the PAPI event set never reads out and stays locked",
+		fix:     "call %s (its return value is the counter deltas) when the region of interest ends",
+	})
+	return specs
+}
+
+// Run implements Analyzer.
+func (a UnpairedRegion) Run(pass *Pass) {
+	specs := pairSpecs()
+	for _, file := range pass.Pkg.Files {
+		// walkLits=false: nested function literals are inspected as part
+		// of the enclosing declaration, so a pair split across a closure
+		// and its enclosing function still matches, and nothing is
+		// visited (or reported) twice.
+		funcBodies(file, false, func(ft *ast.FuncType, body *ast.BlockStmt) {
+			a.checkPairs(pass, body, specs)
+			a.checkDiscardedMalloc(pass, body)
+		})
+	}
+}
+
+// callSite is one opener occurrence.
+type callSite struct {
+	pos  token.Pos
+	recv string
+}
+
+// checkPairs matches openers to closers per receiver within body,
+// including calls made inside nested function literals (they execute on
+// the same PE goroutine, so they legitimately close regions the
+// enclosing function opened).
+func (a UnpairedRegion) checkPairs(pass *Pass, body *ast.BlockStmt, specs []pairSpec) {
+	eventSets := eventSetReceivers(body)
+	for _, spec := range specs {
+		var opens []callSite
+		closed := make(map[string]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := callee(call)
+			if !ok || recv == nil {
+				return true
+			}
+			key := exprKey(recv)
+			if key == "" {
+				return true
+			}
+			if spec.eventSetOnly && !eventSets[key] {
+				return true
+			}
+			switch name {
+			case spec.open:
+				opens = append(opens, callSite{pos: call.Pos(), recv: key})
+			case spec.close:
+				closed[key] = true
+			}
+			return true
+		})
+		for _, open := range opens {
+			if !closed[open.recv] {
+				pass.Report(open.pos,
+					sprintf1(spec.fix, open.recv+"."+spec.close),
+					spec.message, open.recv, spec.open, spec.close)
+			}
+		}
+	}
+}
+
+// eventSetReceivers returns the names of identifiers assigned from a
+// NewEventSet call anywhere in body.
+func eventSetReceivers(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, name, ok := callee(call); !ok || name != "NewEventSet" {
+			return true
+		}
+		// es, err := papi.NewEventSet(...): the event set is the first
+		// result.
+		if id, ok := unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkDiscardedMalloc flags statement-level Malloc calls and Mallocs
+// assigned only to blanks.
+func (a UnpairedRegion) checkDiscardedMalloc(pass *Pass, body *ast.BlockStmt) {
+	report := func(call *ast.CallExpr, recvKey string) {
+		pass.Report(call.Pos(),
+			"keep the returned offset (or use shmem.AllocInt64Array for a bounds-checked view); a symmetric allocation with no handle can never be addressed or reused",
+			"result of collective %s.Malloc is discarded; the symmetric heap space leaks on every PE", recvKey)
+	}
+	isMalloc := func(s ast.Stmt) (*ast.CallExpr, string, bool) {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return nil, "", false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return nil, "", false
+		}
+		recv, name, ok := callee(call)
+		if !ok || recv == nil || name != "Malloc" || len(call.Args) != 1 {
+			return nil, "", false
+		}
+		key := exprKey(recv)
+		return call, key, key != ""
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, key, ok := isMalloc(n); ok {
+				report(call, key)
+			}
+		case *ast.AssignStmt:
+			// Blank-only assignment: _ = pe.Malloc(n)
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := unparen(n.Lhs[0]).(*ast.Ident)
+			if !ok || id.Name != "_" {
+				return true
+			}
+			call, ok := unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := callee(call)
+			if !ok || recv == nil || name != "Malloc" || len(call.Args) != 1 {
+				return true
+			}
+			if key := exprKey(recv); key != "" {
+				report(call, key)
+			}
+		}
+		return true
+	})
+}
+
+// sprintf1 substitutes the single %s in a fix-hint template; templates
+// without a verb pass through unchanged.
+func sprintf1(template, arg string) string {
+	for i := 0; i+1 < len(template); i++ {
+		if template[i] == '%' && template[i+1] == 's' {
+			return template[:i] + arg + template[i+2:]
+		}
+	}
+	return template
+}

@@ -82,7 +82,10 @@ func (c *Collector) ForPE(pe int, engine *papi.Engine) *PECollector {
 			panic(err)
 		}
 		pc.eventSet = es
-		es.Start()
+		// The PAPI region deliberately spans the PE's whole lifetime:
+		// started here, read out and restarted by flushPAPI, stopped for
+		// good in Close.
+		es.Start() //actorvet:ignore unpairedregion
 	}
 	return pc
 }
