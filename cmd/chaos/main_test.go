@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"actorprof/internal/fault/harness"
+)
+
+// TestSoakPasses runs a small healthy batch: every randomly composed
+// cell must pass its oracle and no artifact may be written.
+func TestSoakPasses(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "failures.json")
+	var out bytes.Buffer
+	if err := run(0xbeef, 3, artifact, &out); err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all 3 cells passed") {
+		t.Fatalf("missing pass summary in:\n%s", out.String())
+	}
+	if _, err := os.Stat(artifact); !os.IsNotExist(err) {
+		t.Fatal("artifact written for a green run")
+	}
+}
+
+// TestArtifactRoundtrips checks the failure artifact shape parses back
+// into specs and plans usable for replay.
+func TestArtifactRoundtrips(t *testing.T) {
+	blob, err := json.Marshal(struct {
+		Seed     uint64            `json:"seed"`
+		Cells    int               `json:"cells"`
+		Failures []harness.Failure `json:"failures"`
+	}{Seed: 7, Cells: 1, Failures: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Seed     uint64            `json:"seed"`
+		Failures []harness.Failure `json:"failures"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seed != 7 {
+		t.Fatalf("seed roundtrip: %d", parsed.Seed)
+	}
+}

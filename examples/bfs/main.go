@@ -16,7 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"actorprof/internal/actor"
 	"actorprof/internal/apps"
@@ -29,10 +31,15 @@ import (
 func main() {
 	scale := flag.Int("scale", 12, "R-MAT scale")
 	flag.Parse()
-
-	g, err := graph.GenerateRMAT(graph.Graph500(*scale, 16, 7))
-	if err != nil {
+	if err := run(*scale, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(scale int, out io.Writer) error {
+	g, err := graph.GenerateRMAT(graph.Graph500(scale, 16, 7))
+	if err != nil {
+		return err
 	}
 	full := g.Symmetrize()
 	const numPEs, perNode = 16, 8
@@ -55,14 +62,14 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("BFS from vertex 0: visited %d of %d vertices in %d levels\n\n",
+	fmt.Fprintf(out, "BFS from vertex 0: visited %d of %d vertices in %d levels\n\n",
 		visited, full.NumVertices(), depth)
 
 	lm := set.LogicalMatrix()
-	fmt.Printf("visit messages: %d total; send imbalance (max/mean) %.2fx\n",
+	fmt.Fprintf(out, "visit messages: %d total; send imbalance (max/mean) %.2fx\n",
 		lm.Total(), trace.MaxOverMean(lm.SendTotals()))
 	var tm, tc, tp, tt int64
 	for _, r := range set.Overall {
@@ -71,9 +78,10 @@ func main() {
 		tp += r.TProc
 		tt += r.TTotal
 	}
-	fmt.Printf("overall: MAIN %.1f%%  COMM %.1f%%  PROC %.1f%%\n",
+	fmt.Fprintf(out, "overall: MAIN %.1f%%  COMM %.1f%%  PROC %.1f%%\n",
 		100*float64(tm)/float64(tt), 100*float64(tc)/float64(tt), 100*float64(tp)/float64(tt))
-	fmt.Println("\n(level-synchronous BFS pays one BSP superstep per level; the COMM share")
-	fmt.Println(" includes the per-level termination and straggler wait - exactly what an")
-	fmt.Println(" FA-BSP-aware profiler should expose)")
+	fmt.Fprintln(out, "\n(level-synchronous BFS pays one BSP superstep per level; the COMM share")
+	fmt.Fprintln(out, " includes the per-level termination and straggler wait - exactly what an")
+	fmt.Fprintln(out, " FA-BSP-aware profiler should expose)")
+	return nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBFSSmoke runs the level-synchronous BFS example at a tiny scale.
+func TestBFSSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(7, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BFS from vertex 0: visited",
+		"visit messages:",
+		"overall: MAIN",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -18,7 +18,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"sync"
 
@@ -32,10 +34,15 @@ import (
 func main() {
 	scale := flag.Int("scale", 10, "R-MAT scale")
 	flag.Parse()
-
-	g, err := graph.GenerateRMAT(graph.Graph500(*scale, 16, 1234))
-	if err != nil {
+	if err := run(*scale, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(scale int, out io.Writer) error {
+	g, err := graph.GenerateRMAT(graph.Graph500(scale, 16, 1234))
+	if err != nil {
+		return err
 	}
 	full := g.Symmetrize()
 	const numPEs, perNode = 16, 8
@@ -71,22 +78,21 @@ func main() {
 		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	want := g.CountTrianglesSerial()
-	status := "VALIDATED"
 	if check != want {
-		status = fmt.Sprintf("MISMATCH (want %d)", want)
+		return fmt.Errorf("triangle cross-check MISMATCH: got %d, want %d", check, want)
 	}
-	fmt.Printf("graph: %d vertices, %d edges; triangle cross-check %d [%s]\n\n",
-		g.NumVertices(), g.NumEdges(), check, status)
+	fmt.Fprintf(out, "graph: %d vertices, %d edges; triangle cross-check %d [VALIDATED]\n\n",
+		g.NumVertices(), g.NumEdges(), check)
 
 	sort.Slice(all, func(i, j int) bool { return all[i].sim > all[j].sim })
-	fmt.Println("most similar neighborhoods (top 10 edges):")
+	fmt.Fprintln(out, "most similar neighborhoods (top 10 edges):")
 	for i := 0; i < 10 && i < len(all); i++ {
 		e := all[i]
-		fmt.Printf("  (%4d, %4d)  common=%3d  deg=%d/%d  J=%.3f\n",
+		fmt.Fprintf(out, "  (%4d, %4d)  common=%3d  deg=%d/%d  J=%.3f\n",
 			e.u, e.v, e.common, full.Degree(e.u), full.Degree(e.v), e.sim)
 	}
 
@@ -97,7 +103,8 @@ func main() {
 		tp += r.TProc
 		tt += r.TTotal
 	}
-	fmt.Printf("\ntwo-phase exchange profile: MAIN %.1f%%  COMM %.1f%%  PROC %.1f%% (%d logical sends)\n",
+	fmt.Fprintf(out, "\ntwo-phase exchange profile: MAIN %.1f%%  COMM %.1f%%  PROC %.1f%% (%d logical sends)\n",
 		100*float64(tm)/float64(tt), 100*float64(tc)/float64(tt),
 		100*float64(tp)/float64(tt), set.LogicalMatrix().Total())
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJaccardSmoke runs the two-phase Jaccard example at a tiny scale;
+// run itself fails if the triangle cross-check mismatches.
+func TestJaccardSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(7, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"[VALIDATED]",
+		"most similar neighborhoods",
+		"two-phase exchange profile",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -16,7 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"actorprof/internal/actor"
 	"actorprof/internal/apps"
@@ -30,22 +32,27 @@ func main() {
 	scale := flag.Int("scale", 11, "R-MAT scale")
 	iters := flag.Int("iters", 5, "PageRank iterations")
 	flag.Parse()
-
-	g, err := graph.GenerateRMAT(graph.Graph500(*scale, 16, 99))
-	if err != nil {
+	if err := run(*scale, *iters, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(scale, iters int, out io.Writer) error {
+	g, err := graph.GenerateRMAT(graph.Graph500(scale, 16, 99))
+	if err != nil {
+		return err
 	}
 	full := g.Symmetrize()
 	const numPEs, perNode = 16, 16
 
-	run := func(dist graph.Distribution) (*trace.Set, float64) {
+	runOnce := func(dist graph.Distribution) (*trace.Set, float64, error) {
 		var sum float64
 		set, err := core.Run(core.Options{
 			Machine: sim.Machine{NumPEs: numPEs, PEsPerNode: perNode},
 			Trace:   core.FullTrace(),
 		}, func(rt *actor.Runtime) error {
 			res, err := apps.PageRank(rt, full, dist, apps.PageRankConfig{
-				Damping: 0.85, Iterations: *iters,
+				Damping: 0.85, Iterations: iters,
 			})
 			if err != nil {
 				return err
@@ -55,20 +62,20 @@ func main() {
 			}
 			return nil
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return set, sum
+		return set, sum, err
 	}
 
-	fmt.Printf("PageRank over %d vertices, %d undirected edges, %d iterations\n\n",
-		full.NumVertices(), g.NumEdges(), *iters)
+	fmt.Fprintf(out, "PageRank over %d vertices, %d undirected edges, %d iterations\n\n",
+		full.NumVertices(), g.NumEdges(), iters)
 
 	for _, d := range []graph.Distribution{
 		graph.NewBlockDist(full.NumVertices(), numPEs),
 		graph.NewRangeDist(full, numPEs),
 	} {
-		set, sum := run(d)
+		set, sum, err := runOnce(d)
+		if err != nil {
+			return err
+		}
 		var tm, tc, tp, tt, wall int64
 		for _, r := range set.Overall {
 			tm += r.TMain
@@ -79,11 +86,12 @@ func main() {
 				wall = r.TTotal
 			}
 		}
-		fmt.Printf("%-10s rank mass %.6f | wall %12d cycles | MAIN %4.1f%% COMM %4.1f%% PROC %4.1f%% | send imb %.2fx\n",
+		fmt.Fprintf(out, "%-10s rank mass %.6f | wall %12d cycles | MAIN %4.1f%% COMM %4.1f%% PROC %4.1f%% | send imb %.2fx\n",
 			d.Name(), sum, wall,
 			100*float64(tm)/float64(tt), 100*float64(tc)/float64(tt), 100*float64(tp)/float64(tt),
 			trace.MaxOverMean(set.LogicalMatrix().SendTotals()))
 	}
-	fmt.Println("\n(1D Range balances edges - and therefore PageRank's contribution messages -")
-	fmt.Println(" so its straggler-bound COMM time shrinks; ActorProf makes that visible)")
+	fmt.Fprintln(out, "\n(1D Range balances edges - and therefore PageRank's contribution messages -")
+	fmt.Fprintln(out, " so its straggler-bound COMM time shrinks; ActorProf makes that visible)")
+	return nil
 }

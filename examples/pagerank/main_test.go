@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPageRankSmoke runs the distribution-comparison example at a tiny
+// scale with few iterations.
+func TestPageRankSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(7, 2, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"PageRank over",
+		"1D Block",
+		"1D Range",
+		"rank mass",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -32,6 +33,12 @@ const (
 )
 
 func main() {
+	if err := run(nMessages, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(messages int, out io.Writer) error {
 	set, err := core.Run(core.Options{
 		Machine: sim.Machine{NumPEs: numPEs, PEsPerNode: pesPerNode},
 		Trace:   core.FullTrace(),
@@ -55,7 +62,7 @@ func main() {
 		rt.Finish(func() {
 			myActor.Start()
 			rng := uint64(pe.Rank())*0x9e3779b97f4a7c15 + 0xdeadbeef
-			for i := 0; i < nMessages; i++ {
+			for i := 0; i < messages; i++ {
 				rng = rng*6364136223846793005 + 1442695040888963407
 				dst := int(rng>>33) % pe.NumPEs()
 				idx := int64(rng>>13) % tableSize
@@ -70,21 +77,22 @@ func main() {
 			local += v
 		}
 		total := pe.AllReduceInt64(shmem.OpSum, local)
+		if total != int64(numPEs*messages) {
+			return fmt.Errorf("histogram mass %d, expected %d", total, numPEs*messages)
+		}
 		if pe.Rank() == 0 {
-			fmt.Printf("histogram mass: %d (expected %d)\n\n", total, numPEs*nMessages)
+			fmt.Fprintf(out, "histogram mass: %d (expected %d)\n\n", total, numPEs*messages)
 		}
 		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// ActorProf reports.
-	if err := core.LogicalHeatmap(set, "Quickstart: logical trace").RenderText(os.Stdout); err != nil {
-		log.Fatal(err)
+	if err := core.LogicalHeatmap(set, "Quickstart: logical trace").RenderText(out); err != nil {
+		return err
 	}
-	fmt.Println()
-	if err := core.OverallStacked(set, true, "Quickstart: overall breakdown (relative)").RenderText(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Fprintln(out)
+	return core.OverallStacked(set, true, "Quickstart: overall breakdown (relative)").RenderText(out)
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartSmoke runs the Listing 1-2 program at a reduced message
+// count and checks the two reports render.
+func TestQuickstartSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(50, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"histogram mass: 400 (expected 400)",
+		"Quickstart: logical trace",
+		"Quickstart: overall breakdown (relative)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -27,11 +28,16 @@ import (
 func main() {
 	scale := flag.Int("scale", 11, "R-MAT scale")
 	flag.Parse()
+	if err := run(*scale, "triangle_traces", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(scale int, traceDir string, out io.Writer) error {
 	var reports []*core.TriangleReport
 	for _, dist := range []core.DistKind{core.DistCyclic, core.DistRange} {
 		exp := core.TriangleExperiment{
-			Scale: *scale, EdgeFactor: 16, Seed: 42,
+			Scale: scale, EdgeFactor: 16, Seed: 42,
 			NumPEs: 16, PEsPerNode: 16,
 			Dist: dist,
 		}
@@ -40,58 +46,59 @@ func main() {
 		}
 		rep, err := core.RunTriangle(exp)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !rep.Validated() {
-			log.Fatalf("%s: validation failed (%d vs %d)", dist, rep.Triangles, rep.Expected)
+			return fmt.Errorf("%s: validation failed (%d vs %d)", dist, rep.Triangles, rep.Expected)
 		}
 		reports = append(reports, rep)
 
-		dir := filepath.Join("triangle_traces", string(dist))
+		dir := filepath.Join(traceDir, string(dist))
 		if err := rep.Set.WriteFiles(dir); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	cy, rg := reports[0], reports[1]
-	fmt.Printf("graph: %d vertices, %d edges, %d triangles (validated on both runs)\n\n",
+	fmt.Fprintf(out, "graph: %d vertices, %d edges, %d triangles (validated on both runs)\n\n",
 		cy.Graph.NumVertices(), cy.Graph.NumEdges(), cy.Triangles)
 
 	for _, rep := range reports {
 		title := fmt.Sprintf("Logical trace heatmap - %s", rep.DistName)
-		if err := core.LogicalHeatmap(rep.Set, title).RenderText(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := core.LogicalHeatmap(rep.Set, title).RenderText(out); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	for _, rep := range reports {
 		title := fmt.Sprintf("Quartile violin - %s", rep.DistName)
-		if err := core.LogicalViolin(rep.Set, title).RenderText(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := core.LogicalViolin(rep.Set, title).RenderText(out); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	for _, rep := range reports {
 		title := fmt.Sprintf("Overall breakdown - %s", rep.DistName)
-		if err := core.OverallStacked(rep.Set, true, title).RenderText(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := core.OverallStacked(rep.Set, true, title).RenderText(out); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	// The paper's headline comparisons.
 	cyM, rgM := cy.Set.LogicalMatrix(), rg.Set.LogicalMatrix()
-	fmt.Println("case-study observations:")
-	fmt.Printf("  max sends:  cyclic %d vs range %d (%.1fx)\n",
+	fmt.Fprintln(out, "case-study observations:")
+	fmt.Fprintf(out, "  max sends:  cyclic %d vs range %d (%.1fx)\n",
 		maxOf(cyM.SendTotals()), maxOf(rgM.SendTotals()),
 		ratio(maxOf(cyM.SendTotals()), maxOf(rgM.SendTotals())))
-	fmt.Printf("  max recvs:  cyclic %d vs range %d (%.1fx)\n",
+	fmt.Fprintf(out, "  max recvs:  cyclic %d vs range %d (%.1fx)\n",
 		maxOf(cyM.RecvTotals()), maxOf(rgM.RecvTotals()),
 		ratio(maxOf(cyM.RecvTotals()), maxOf(rgM.RecvTotals())))
 	cyT, rgT := maxTotal(cy.Set), maxTotal(rg.Set)
-	fmt.Printf("  total time: cyclic %d vs range %d cycles -> range is %.1fx faster\n",
+	fmt.Fprintf(out, "  total time: cyclic %d vs range %d cycles -> range is %.1fx faster\n",
 		cyT, rgT, float64(cyT)/float64(rgT))
-	fmt.Println("\ntrace files in ./triangle_traces/{cyclic,range} (render with cmd/actorprof)")
+	fmt.Fprintf(out, "\ntrace files in %s/{cyclic,range} (render with cmd/actorprof)\n", traceDir)
+	return nil
 }
 
 func maxOf(v []int64) int64 {

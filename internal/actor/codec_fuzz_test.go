@@ -1,0 +1,88 @@
+package actor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzCodecRoundtrip checks every codec encodes/decodes arbitrary values
+// losslessly. FloatPair values compare as bit patterns so NaN payloads
+// survive too.
+func FuzzCodecRoundtrip(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), uint32(0), uint32(0), float64(0))
+	f.Add(int64(1), int64(-1), int64(math.MaxInt64), uint32(7), uint32(math.MaxUint32), 3.14)
+	f.Add(int64(math.MinInt64), int64(42), int64(-7), uint32(1), uint32(2), math.Inf(-1))
+	f.Fuzz(func(t *testing.T, a, b, c int64, u1, u2 uint32, fv float64) {
+		ic := Int64Codec()
+		buf := make([]byte, ic.Size)
+		ic.Encode(buf, a)
+		if got := ic.Decode(buf); got != a {
+			t.Fatalf("Int64Codec: %d -> %d", a, got)
+		}
+
+		pc := PairCodec()
+		buf = make([]byte, pc.Size)
+		pc.Encode(buf, Pair{A: a, B: b})
+		if got := pc.Decode(buf); got != (Pair{A: a, B: b}) {
+			t.Fatalf("PairCodec: %v -> %v", Pair{A: a, B: b}, got)
+		}
+
+		tc := TripleCodec()
+		buf = make([]byte, tc.Size)
+		tc.Encode(buf, Triple{A: a, B: b, C: c})
+		if got := tc.Decode(buf); got != (Triple{A: a, B: b, C: c}) {
+			t.Fatalf("TripleCodec: %v -> %v", Triple{A: a, B: b, C: c}, got)
+		}
+
+		uc := U32PairCodec()
+		buf = make([]byte, uc.Size)
+		uc.Encode(buf, U32Pair{A: u1, B: u2})
+		if got := uc.Decode(buf); got != (U32Pair{A: u1, B: u2}) {
+			t.Fatalf("U32PairCodec: %v -> %v", U32Pair{A: u1, B: u2}, got)
+		}
+
+		fc := FloatPairCodec()
+		buf = make([]byte, fc.Size)
+		fc.Encode(buf, FloatPair{Index: a, Value: fv})
+		got := fc.Decode(buf)
+		if got.Index != a || math.Float64bits(got.Value) != math.Float64bits(fv) {
+			t.Fatalf("FloatPairCodec: {%d %x} -> {%d %x}", a, math.Float64bits(fv),
+				got.Index, math.Float64bits(got.Value))
+		}
+	})
+}
+
+// FuzzCodecDecodeEncode checks the wire-side identity: decoding an
+// arbitrary Size-byte buffer and re-encoding the value reproduces the
+// buffer exactly, for every codec. This is the property the conveyor
+// transport relies on when it copies items through aggregation buffers.
+func FuzzCodecDecodeEncode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Add([]byte("the quick brown fox jumps ov"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(name string, size int, roundtrip func(in, out []byte)) {
+			if len(data) < size {
+				return
+			}
+			in := data[:size]
+			out := make([]byte, size)
+			roundtrip(in, out)
+			if !bytes.Equal(in, out) {
+				t.Fatalf("%s: decode+encode changed bytes: %x -> %x", name, in, out)
+			}
+		}
+		ic := Int64Codec()
+		check("Int64Codec", ic.Size, func(in, out []byte) { ic.Encode(out, ic.Decode(in)) })
+		pc := PairCodec()
+		check("PairCodec", pc.Size, func(in, out []byte) { pc.Encode(out, pc.Decode(in)) })
+		tc := TripleCodec()
+		check("TripleCodec", tc.Size, func(in, out []byte) { tc.Encode(out, tc.Decode(in)) })
+		uc := U32PairCodec()
+		check("U32PairCodec", uc.Size, func(in, out []byte) { uc.Encode(out, uc.Decode(in)) })
+		fc := FloatPairCodec()
+		check("FloatPairCodec", fc.Size, func(in, out []byte) { fc.Encode(out, fc.Decode(in)) })
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"actorprof/internal/conveyor"
+	"actorprof/internal/fault"
 )
 
 // Selector is an actor with multiple guarded mailboxes (Imam & Sarkar's
@@ -281,6 +282,12 @@ func (s *Selector[T]) drain(mb int) {
 		rt.engine.Tally(w)
 		rt.pe.Charge(rt.pe.World().Cost().InstructionCost(w.Ins))
 		msg := s.codec.Decode(item)
+		// Injection point (schedule-only): extra yields before dispatch
+		// let peers race ahead, perturbing the order handler effects
+		// interleave with remote deliveries.
+		if rt.pe.HasFault() {
+			rt.pe.FaultSched(fault.SiteHandler)
+		}
 		start := rt.handlerEnter()
 		m.process(msg, src)
 		rt.handlerExit(start)

@@ -1,0 +1,97 @@
+package apps
+
+import (
+	"flag"
+	"testing"
+
+	"actorprof/internal/fault"
+	"actorprof/internal/fault/harness"
+	"actorprof/internal/sim"
+)
+
+var (
+	chaosSeed   = flag.Uint64("chaos.seed", 0xac708f, "master seed for the chaos differential matrix")
+	chaosReplay = flag.String("chaos.replay", "",
+		"replay one chaos cell from its spec (app/plan/NxP/0xseed) instead of the full matrix")
+)
+
+// chaosPlans is the perturbation battery every app must survive: point
+// stalls and stragglers, delivery delays, shrunken aggregation buffers,
+// and a shaken goroutine schedule.
+var chaosPlans = []string{"stragglers", "delayed-transfers", "tiny-buffers", "yield-storm"}
+
+// TestChaosDifferentialMatrix runs every registered app under every
+// chaos plan at every machine shape (single-node 1D and two-node mesh),
+// checking each run against its sequential oracle. A failing cell's
+// message carries the replay spec for -chaos.replay.
+func TestChaosDifferentialMatrix(t *testing.T) {
+	if *chaosReplay != "" {
+		t.Skip("replaying a single cell via -chaos.replay")
+	}
+	cells, err := harness.Cells(ChaosApps(), chaosPlans, harness.DefaultMachines(), *chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.Spec().String(), func(t *testing.T) {
+			t.Parallel()
+			if err := harness.RunCell(cell); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosReplayCell re-runs one reported cell:
+//
+//	go test ./internal/apps -run TestChaosReplayCell -chaos.replay 'bfs/tiny-buffers/8x4/0x1234'
+func TestChaosReplayCell(t *testing.T) {
+	if *chaosReplay == "" {
+		t.Skip("no -chaos.replay spec given")
+	}
+	spec, err := harness.ParseSpec(*chaosReplay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := harness.Replay(ChaosApps(), spec)
+	if err != nil {
+		t.Fatalf("replayed failure:\n%v", err)
+	}
+	t.Logf("cell passed on replay; %d deterministic injection events", log.Len())
+}
+
+// TestChaosReplaySchedulesIdentical is the acceptance check for the
+// replay guarantee on real apps: running the same seeded cell twice
+// yields byte-identical deterministic-site event logs. Restricted to
+// apps whose handlers send nothing (push streams fixed by program
+// structure) on a single-node machine (1D topology; mesh endgame cut
+// points are scheduling-dependent and covered by oracles only).
+func TestChaosReplaySchedulesIdentical(t *testing.T) {
+	apps := ChaosApps()
+	m := sim.Machine{NumPEs: 4, PEsPerNode: 4}
+	for _, name := range []string{"triangle", "histogram"} {
+		app, ok := harness.FindApp(apps, name)
+		if !ok {
+			t.Fatalf("app %q not registered", name)
+		}
+		for _, planName := range []string{"delayed-transfers", "tiny-buffers", "chaos"} {
+			plan, err := fault.NamedPlan(planName, harness.DeriveSeed(*chaosSeed, name, planName, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell := harness.Cell{App: app, Machine: m, Plan: plan}
+			logA, errA := harness.RecordCell(cell)
+			logB, errB := harness.RecordCell(cell)
+			if errA != nil || errB != nil {
+				t.Fatalf("%s under %s failed: %v / %v", name, planName, errA, errB)
+			}
+			if d := logA.Diff(logB); d != "" {
+				t.Fatalf("%s under %s: replay diverged:\n%s", name, planName, d)
+			}
+			if logA.Len() == 0 {
+				t.Fatalf("%s under %s recorded no injection events", name, planName)
+			}
+		}
+	}
+}

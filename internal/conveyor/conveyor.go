@@ -121,6 +121,10 @@ type Conveyor struct {
 	pe   *shmem.PE
 	opts Options
 
+	// faulty caches pe.HasFault() (fixed for the PE's lifetime) so the
+	// Push hot path's capacity check stays inlinable.
+	faulty bool
+
 	itemBytes int // payload
 	wireBytes int // payload + header
 	bufItems  int
@@ -168,6 +172,12 @@ type outBuf struct {
 	items   []byte // aggregated wire-format items
 	n       int    // item count
 	sentSeq int64  // buffers sent on this channel
+	// cap is the effective capacity of the current buffer generation.
+	// It equals the configured BufferItems unless a fault injector
+	// shrinks the generation (capSeq tracks which generation the
+	// injector was last consulted for; -1 = not yet).
+	cap    int
+	capSeq int64
 }
 
 // New creates a conveyor across all PEs. It is a collective: every PE
@@ -189,6 +199,7 @@ func New(pe *shmem.PE, opts Options) (*Conveyor, error) {
 	c := &Conveyor{
 		pe:        pe,
 		opts:      opts,
+		faulty:    pe.HasFault(),
 		itemBytes: opts.ItemBytes,
 		wireBytes: opts.ItemBytes + hdrBytes,
 		bufItems:  opts.BufferItems,
@@ -207,7 +218,12 @@ func New(pe *shmem.PE, opts Options) (*Conveyor, error) {
 	c.ackBase = pe.Malloc(npes * 8)
 
 	for _, t := range topo.targets(pe.Rank()) {
-		c.out[t] = &outBuf{target: t, items: make([]byte, 0, c.bufItems*c.wireBytes)}
+		c.out[t] = &outBuf{
+			target: t,
+			items:  make([]byte, 0, c.bufItems*c.wireBytes),
+			cap:    c.bufItems,
+			capSeq: -1,
+		}
 		c.peers = append(c.peers, t)
 	}
 	c.board = boardFor(c)

@@ -96,10 +96,12 @@ func (e *Elastic) EPush(item []byte, dst int) bool {
 	// All-or-nothing: ensure capacity for every cell of this item at
 	// the next hop before pushing any. The underlying buffer toward one
 	// hop drains only through Advance, so checking remaining capacity
-	// once is sound within this call.
+	// once is sound within this call. The check runs against the
+	// generation's *effective* capacity, which a fault injector may
+	// have shrunk below BufferItems.
 	hop := e.c.nextHop(dst)
 	ob := e.c.out[hop]
-	if e.c.bufItems-ob.n < cells {
+	if e.c.capOf(ob)-ob.n < cells {
 		if cells > e.c.bufItems {
 			panic(fmt.Sprintf("conveyor: item needs %d cells but buffers hold %d; raise BufferItems or CellBytes",
 				cells, e.c.bufItems))
@@ -112,7 +114,12 @@ func (e *Elastic) EPush(item []byte, dst int) bool {
 		if ob.n > 0 {
 			e.c.tryTransfer(ob)
 		}
-		if e.c.bufItems-ob.n < cells {
+		// A fresh generation whose fault-shrunk capacity cannot hold
+		// the item is widened (never past BufferItems): the same seed
+		// would shrink it identically on every retry, so without this
+		// the reservation could never succeed.
+		e.c.reserveCap(ob, ob.n+cells)
+		if e.c.capOf(ob)-ob.n < cells {
 			return false
 		}
 	}

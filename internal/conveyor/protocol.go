@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+
+	"actorprof/internal/fault"
 )
 
 // board is the shared termination-detection state of one conveyor
@@ -50,7 +52,7 @@ func (c *Conveyor) Push(item []byte, dst int) bool {
 	}
 	hop := c.nextHop(dst)
 	ob := c.out[hop]
-	if ob.n >= c.bufItems {
+	if ob.n >= c.capOf(ob) {
 		// Never transfer from inside Push: the append is MAIN-segment
 		// user work in the FA-BSP attribution, while buffer transfers
 		// are communication. The caller's Advance loop (COMM) flushes.
@@ -60,6 +62,37 @@ func (c *Conveyor) Push(item []byte, dst int) bool {
 	c.stats.Pushed++
 	c.board.pushed.Add(1)
 	return true
+}
+
+// capOf returns ob's effective capacity for the current buffer
+// generation. A fault injector is consulted once per generation (first
+// look while the buffer is empty) and may shrink the capacity, forcing
+// partial buffers and early flushes; without an injector the capacity
+// is always the configured BufferItems.
+func (c *Conveyor) capOf(ob *outBuf) int {
+	if c.faulty && ob.n == 0 && ob.capSeq != ob.sentSeq {
+		c.decideCap(ob)
+	}
+	return ob.cap
+}
+
+// decideCap is capOf's slow path, kept out of line so capOf stays
+// inlinable in the Push hot path.
+//
+//go:noinline
+func (c *Conveyor) decideCap(ob *outBuf) {
+	ob.cap = c.pe.FaultBufferCap(ob.sentSeq, ob.target, c.bufItems)
+	ob.capSeq = ob.sentSeq
+}
+
+// reserveCap widens the current generation's effective capacity to hold
+// at least n items (never beyond the allocated BufferItems). The elastic
+// all-or-nothing reservation uses it so a fault-shrunk generation cannot
+// livelock a multi-cell item that the configured capacity would hold.
+func (c *Conveyor) reserveCap(ob *outBuf, n int) {
+	if ob.cap < n && n <= c.bufItems {
+		ob.cap = n
+	}
 }
 
 // appendItem adds one wire-format item to an outgoing buffer.
@@ -124,7 +157,11 @@ func (c *Conveyor) Advance(done bool) bool {
 	// Note: no charge per poll. Poll counts depend on goroutine
 	// scheduling; charging them would make Virtual-mode clocks
 	// nondeterministic. Idle waiting is accounted at barrier clock
-	// synchronization instead.
+	// synchronization instead. For the same reason the injection point
+	// here is schedule-only (extra yields, never cycles).
+	if c.faulty {
+		c.pe.FaultSched(fault.SiteAdvance)
+	}
 	if done && !c.done {
 		c.done = true
 		c.board.donePEs.Add(1)
@@ -185,6 +222,9 @@ func (c *Conveyor) tryTransfer(ob *outBuf) bool {
 
 // transfer unconditionally ships ob's buffer (caller checked the window).
 func (c *Conveyor) transfer(ob *outBuf) {
+	// Injection point: a delayed transfer models a slow landing zone,
+	// keyed by the channel's buffer sequence number.
+	c.pe.FaultTransfer(ob.sentSeq, ob.target, len(ob.items))
 	me := c.pe.Rank()
 	slot := int(ob.sentSeq % slots)
 	// Landing zone of channel me->target lives in target's heap.
@@ -228,7 +268,7 @@ func (c *Conveyor) transfer(ob *outBuf) {
 func (c *Conveyor) flush(endgame bool) {
 	for _, t := range c.peers {
 		ob := c.out[t]
-		if ob.n >= c.bufItems || (endgame && ob.n > 0) {
+		if (ob.n > 0 && ob.n >= ob.cap) || (endgame && ob.n > 0) {
 			c.tryTransfer(ob)
 		}
 	}
@@ -282,7 +322,7 @@ func (c *Conveyor) ingest(buf []byte, n int) {
 		// are each waiting for the other's ack.
 		hop := c.nextHop(dst)
 		ob := c.out[hop]
-		if len(c.routeBacklog) > 0 || (ob.n >= c.bufItems && !c.tryTransfer(ob)) {
+		if len(c.routeBacklog) > 0 || (ob.n >= c.capOf(ob) && !c.tryTransfer(ob)) {
 			// Preserve per-pair ordering: once anything is backlogged,
 			// all further forwards queue behind it.
 			p := make([]byte, c.itemBytes)
@@ -317,7 +357,7 @@ func (c *Conveyor) drainBacklog() {
 			continue
 		}
 		ob := c.out[hop]
-		if ob.n >= c.bufItems && !c.tryTransfer(ob) {
+		if ob.n >= c.capOf(ob) && !c.tryTransfer(ob) {
 			blocked[hop] = true
 			remaining = append(remaining, it)
 			continue

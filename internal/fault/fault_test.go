@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSiteClassification(t *testing.T) {
+	det := []Site{SitePutNBI, SiteQuiet, SiteBarrier, SiteTransfer, SiteBufferCap}
+	sched := []Site{SiteAdvance, SiteYield, SiteHandler}
+	if len(det)+len(sched) != NumSites {
+		t.Fatalf("site list out of date: %d+%d sites, NumSites=%d", len(det), len(sched), NumSites)
+	}
+	for _, s := range det {
+		if !s.Deterministic() {
+			t.Errorf("%s should be deterministic", s)
+		}
+	}
+	for _, s := range sched {
+		if s.Deterministic() {
+			t.Errorf("%s should be schedule-only", s)
+		}
+	}
+	for s := Site(0); int(s) < NumSites; s++ {
+		if strings.Contains(s.String(), "?") {
+			t.Errorf("site %d has no name", s)
+		}
+	}
+}
+
+func TestPlanDecideIsPure(t *testing.T) {
+	p, err := NamedPlan("chaos", 0xdeadbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 4; pe++ {
+		for s := Site(0); int(s) < NumSites; s++ {
+			for idx := int64(0); idx < 50; idx++ {
+				pt := Point{PE: pe, Site: s, Index: idx, Arg: idx % 7, Arg2: idx * 3}
+				if a, b := p.Decide(pt), p.Decide(pt); a != b {
+					t.Fatalf("Decide(%+v) not pure: %+v vs %+v", pt, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanScheduleSitesNeverTouchVirtualState(t *testing.T) {
+	for _, name := range PlanNames() {
+		p, err := NamedPlan(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Site{SiteAdvance, SiteYield, SiteHandler} {
+			for idx := int64(0); idx < 200; idx++ {
+				d := p.Decide(Point{PE: 1, Site: s, Index: idx})
+				if d.DelayCycles != 0 || d.Capacity != 0 {
+					t.Fatalf("plan %s decided %+v at schedule-only site %s", name, d, s)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanCapacityStaysInRange(t *testing.T) {
+	p, err := NamedPlan("tiny-buffers", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 64
+	shrunk := false
+	for idx := int64(0); idx < 300; idx++ {
+		d := p.Decide(Point{PE: 0, Site: SiteBufferCap, Index: idx, Arg: 1, Arg2: base})
+		if d.Capacity != 0 {
+			if d.Capacity < p.CapFloor || d.Capacity > base {
+				t.Fatalf("capacity %d outside [%d, %d]", d.Capacity, p.CapFloor, base)
+			}
+			if d.Capacity < base {
+				shrunk = true
+			}
+		}
+	}
+	if !shrunk {
+		t.Fatal("tiny-buffers never shrank a capacity in 300 generations")
+	}
+}
+
+func TestPlanSeedChangesDecisions(t *testing.T) {
+	a, _ := NamedPlan("chaos", 1)
+	b, _ := NamedPlan("chaos", 2)
+	differ := false
+	for idx := int64(0); idx < 100 && !differ; idx++ {
+		pt := Point{PE: 0, Site: SiteBarrier, Index: idx}
+		if a.Decide(pt) != b.Decide(pt) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("seeds 1 and 2 made identical barrier decisions for 100 points")
+	}
+}
+
+func TestClockSkewPercentBounds(t *testing.T) {
+	p, _ := NamedPlan("stragglers", 0x5eed)
+	anySkew := false
+	for pe := 0; pe < 64; pe++ {
+		s := p.ClockSkewPercent(pe)
+		if s < 0 || s > p.SkewMaxPercent {
+			t.Fatalf("PE %d skew %d outside [0, %d]", pe, s, p.SkewMaxPercent)
+		}
+		if s > 0 {
+			anySkew = true
+		}
+		if again := p.ClockSkewPercent(pe); again != s {
+			t.Fatalf("PE %d skew not stable: %d then %d", pe, s, again)
+		}
+	}
+	if !anySkew {
+		t.Fatal("stragglers plan skewed none of 64 PEs")
+	}
+}
+
+func TestNamedPlanAndPlanFromSeed(t *testing.T) {
+	if _, err := NamedPlan("no-such-plan", 1); err == nil {
+		t.Fatal("unknown plan name should error")
+	}
+	names := PlanNames()
+	for _, want := range []string{"none", "stragglers", "delayed-transfers", "tiny-buffers", "yield-storm", "chaos"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("PlanNames() missing %q: %v", want, names)
+		}
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		p := PlanFromSeed(seed)
+		if p.Name == "none" {
+			t.Fatalf("PlanFromSeed(%d) picked the non-perturbing shape", seed)
+		}
+		if p.Seed != seed {
+			t.Fatalf("PlanFromSeed(%d) kept seed %d", seed, p.Seed)
+		}
+	}
+}
+
+func TestPlanArtifactRoundtrip(t *testing.T) {
+	p, _ := NamedPlan("delayed-transfers", 0xabcdef)
+	data, err := p.MarshalArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatalf("artifact roundtrip changed the plan:\n  in:  %+v\n  out: %+v", p, got)
+	}
+	if _, err := UnmarshalPlan([]byte("{not json")); err == nil {
+		t.Fatal("garbage artifact should error")
+	}
+}
+
+func TestRecorderLogsDeterministicSitesOnly(t *testing.T) {
+	p, _ := NamedPlan("chaos", 3)
+	r := NewRecorder(p, 2)
+	r.Decide(Point{PE: 0, Site: SiteBarrier, Index: 0})
+	r.Decide(Point{PE: 1, Site: SiteTransfer, Index: 0, Arg: 3})
+	r.Decide(Point{PE: 0, Site: SiteYield, Index: 0})   // schedule-only
+	r.Decide(Point{PE: 1, Site: SiteHandler, Index: 5}) // schedule-only
+	log := r.Log()
+	if log.Len() != 2 {
+		t.Fatalf("recorded %d events, want 2 (schedule-only sites must not log)", log.Len())
+	}
+}
+
+func TestRecorderLogCanonicalOrder(t *testing.T) {
+	p, _ := NamedPlan("chaos", 3)
+	// Two recorders see the same events in different arrival order; the
+	// canonical logs must still match.
+	pts := []Point{
+		{PE: 0, Site: SiteTransfer, Index: 2, Arg: 1},
+		{PE: 0, Site: SiteBarrier, Index: 0},
+		{PE: 0, Site: SiteTransfer, Index: 0, Arg: 3},
+		{PE: 0, Site: SiteTransfer, Index: 1, Arg: 1},
+	}
+	a, b := NewRecorder(p, 1), NewRecorder(p, 1)
+	for _, pt := range pts {
+		a.Decide(pt)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		b.Decide(pts[i])
+	}
+	if d := a.Log().Diff(b.Log()); d != "" {
+		t.Fatalf("canonicalized logs differ:\n%s", d)
+	}
+	if a.Log().String() != b.Log().String() {
+		t.Fatal("canonical strings differ")
+	}
+}
+
+func TestLogDiffFindsDivergence(t *testing.T) {
+	p, _ := NamedPlan("chaos", 3)
+	a, b := NewRecorder(p, 1), NewRecorder(p, 1)
+	a.Decide(Point{PE: 0, Site: SiteBarrier, Index: 0})
+	b.Decide(Point{PE: 0, Site: SiteBarrier, Index: 1})
+	if d := a.Log().Diff(b.Log()); d == "" {
+		t.Fatal("differing logs reported identical")
+	}
+	b2 := NewRecorder(p, 1)
+	b2.Decide(Point{PE: 0, Site: SiteBarrier, Index: 0})
+	b2.Decide(Point{PE: 0, Site: SiteBarrier, Index: 1})
+	if d := a.Log().Diff(b2.Log()); !strings.Contains(d, "event count") {
+		t.Fatalf("length divergence not reported: %q", d)
+	}
+	var empty Log
+	if d := a.Log().Diff(&empty); !strings.Contains(d, "PE count") {
+		t.Fatalf("PE-count divergence not reported: %q", d)
+	}
+}
+
+func TestRecorderDelegatesClockSkew(t *testing.T) {
+	p, _ := NamedPlan("stragglers", 0x5eed)
+	r := NewRecorder(p, 4)
+	for pe := 0; pe < 4; pe++ {
+		if got, want := r.ClockSkewPercent(pe), p.ClockSkewPercent(pe); got != want {
+			t.Fatalf("PE %d: recorder skew %d, plan skew %d", pe, got, want)
+		}
+	}
+	// A non-skewing inner injector reads as zero skew.
+	none, _ := NamedPlan("none", 1)
+	r2 := NewRecorder(noSkew{none}, 1)
+	if r2.ClockSkewPercent(0) != 0 {
+		t.Fatal("recorder invented skew for a non-ClockSkewer injector")
+	}
+}
+
+// noSkew strips the ClockSkewer implementation from a plan.
+type noSkew struct{ p *Plan }
+
+func (n noSkew) Decide(pt Point) Decision { return n.p.Decide(pt) }
+
+func TestBoundedAndChance(t *testing.T) {
+	if bounded(12345, 0) != 0 {
+		t.Fatal("bounded(_, 0) must be 0")
+	}
+	for h := uint64(0); h < 1000; h++ {
+		v := bounded(mix64(h), 7)
+		if v < 1 || v > 7 {
+			t.Fatalf("bounded out of range: %d", v)
+		}
+	}
+	if chance(0, 0) || chance(^uint64(0), 0) {
+		t.Fatal("probability 0 fired")
+	}
+	if !chance(0, 1) || !chance(^uint64(0), 1) {
+		t.Fatal("probability 1 did not fire")
+	}
+}

@@ -1,0 +1,219 @@
+// Package harness is the reusable chaos-test harness on top of the
+// fault-injection layer: it runs registered FA-BSP applications at
+// multiple PE counts under a matrix of fault plans, checks every run
+// against the application's sequential oracle, and - when a run fails -
+// reports a single replay spec (app/plan/PEs/seed) that reproduces the
+// exact perturbation schedule.
+//
+// The harness owns no application knowledge: packages register their
+// apps as App values (internal/apps does this in ChaosApps), and the
+// differential tests, the replay path, and the nightly soak binary all
+// drive the same RunCell entry point.
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/fault"
+	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
+)
+
+// App is one chaos-testable application: an SPMD body plus the oracle
+// that validates its gathered per-PE results. Run and Check must be
+// deterministic given the machine shape - the oracle is what turns a
+// perturbed schedule into a pass/fail verdict.
+type App struct {
+	// Name identifies the app in replay specs. No slashes.
+	Name string
+	// BufferItems sets the actor runtime's aggregation buffer size
+	// (0 = 16). Small buffers keep chaos cells fast and force frequent
+	// transfers.
+	BufferItems int
+	// Run executes the app on one PE and returns that PE's result.
+	// Called on every PE's goroutine; an error fails the cell.
+	Run func(rt *actor.Runtime) (any, error)
+	// Check validates the per-PE results (indexed by rank) against the
+	// app's sequential oracle: exact outputs, tolerance comparisons, or
+	// schedule-independent invariants. Nil means Run errors are the only
+	// failure mode.
+	Check func(m sim.Machine, perPE []any) error
+}
+
+// Cell is one chaos run: an app on a machine shape under a fault plan.
+type Cell struct {
+	App     App
+	Machine sim.Machine
+	Plan    *fault.Plan
+}
+
+// Spec returns the cell's replayable coordinates.
+func (c Cell) Spec() Spec {
+	return Spec{
+		App:        c.App.Name,
+		Plan:       c.Plan.Name,
+		NumPEs:     c.Machine.NumPEs,
+		PEsPerNode: c.Machine.PEsPerNode,
+		Seed:       c.Plan.Seed,
+	}
+}
+
+// Spec identifies a cell compactly: everything needed to reproduce the
+// exact perturbation schedule. Its String form is what failure messages
+// print and what Replay consumes.
+type Spec struct {
+	App        string `json:"app"`
+	Plan       string `json:"plan"`
+	NumPEs     int    `json:"num_pes"`
+	PEsPerNode int    `json:"pes_per_node"`
+	Seed       uint64 `json:"seed"`
+}
+
+// String renders the spec as app/plan/NxP/0xseed.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s/%dx%d/%#x", s.App, s.Plan, s.NumPEs, s.PEsPerNode, s.Seed)
+}
+
+// ParseSpec parses the String form.
+func ParseSpec(str string) (Spec, error) {
+	parts := strings.Split(str, "/")
+	if len(parts) != 4 {
+		return Spec{}, fmt.Errorf("harness: spec %q: want app/plan/NxP/seed", str)
+	}
+	var s Spec
+	s.App, s.Plan = parts[0], parts[1]
+	n, p, ok := strings.Cut(parts[2], "x")
+	if !ok {
+		return Spec{}, fmt.Errorf("harness: spec %q: machine %q is not NxP", str, parts[2])
+	}
+	var err error
+	if s.NumPEs, err = strconv.Atoi(n); err != nil {
+		return Spec{}, fmt.Errorf("harness: spec %q: bad PE count: %w", str, err)
+	}
+	if s.PEsPerNode, err = strconv.Atoi(p); err != nil {
+		return Spec{}, fmt.Errorf("harness: spec %q: bad PEs-per-node: %w", str, err)
+	}
+	if s.Seed, err = strconv.ParseUint(parts[3], 0, 64); err != nil {
+		return Spec{}, fmt.Errorf("harness: spec %q: bad seed: %w", str, err)
+	}
+	return s, nil
+}
+
+// RunCell executes one cell and checks it against the app's oracle. A
+// failure is wrapped with the cell's replay spec, so the one line a CI
+// log shows is enough to reproduce the schedule.
+func RunCell(c Cell) error {
+	_, err := run(c, false)
+	return err
+}
+
+// RecordCell executes one cell with a fault.Recorder installed and
+// returns the deterministic-site event log alongside the verdict. Two
+// RecordCell calls with the same cell must produce identical logs - the
+// replay guarantee the harness tests enforce.
+func RecordCell(c Cell) (*fault.Log, error) {
+	return run(c, true)
+}
+
+func run(c Cell, record bool) (*fault.Log, error) {
+	if c.App.Run == nil {
+		return nil, fmt.Errorf("harness: app %q has no Run", c.App.Name)
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	var inj fault.Injector = c.Plan
+	var rec *fault.Recorder
+	if record {
+		rec = fault.NewRecorder(c.Plan, c.Machine.NumPEs)
+		inj = rec
+	}
+	bufItems := c.App.BufferItems
+	if bufItems == 0 {
+		bufItems = 16
+	}
+	results := make([]any, c.Machine.NumPEs)
+	var mu sync.Mutex
+	err := shmem.Run(shmem.Config{Machine: c.Machine, Fault: inj}, func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{BufferItems: bufItems})
+		res, err := c.App.Run(rt)
+		if err != nil {
+			panic(err)
+		}
+		mu.Lock()
+		results[pe.Rank()] = res
+		mu.Unlock()
+		rt.Close()
+		pe.Barrier()
+	})
+	if err == nil && c.App.Check != nil {
+		err = c.App.Check(c.Machine, results)
+	}
+	if err != nil {
+		err = fmt.Errorf("chaos cell failed; replay spec %q: %w", c.Spec().String(), err)
+	}
+	var log *fault.Log
+	if rec != nil {
+		log = rec.Log()
+	}
+	return log, err
+}
+
+// Replay re-runs a failing cell from its spec alone: the app is looked
+// up by name, the plan rebuilt from (plan name, seed), and the run
+// recorded so the reproduced schedule can be inspected or compared.
+func Replay(apps []App, spec Spec) (*fault.Log, error) {
+	app, ok := FindApp(apps, spec.App)
+	if !ok {
+		return nil, fmt.Errorf("harness: replay spec names unknown app %q", spec.App)
+	}
+	plan, err := fault.NamedPlan(spec.Plan, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return RecordCell(Cell{
+		App:     app,
+		Machine: sim.Machine{NumPEs: spec.NumPEs, PEsPerNode: spec.PEsPerNode},
+		Plan:    plan,
+	})
+}
+
+// FindApp returns the registered app with the given name.
+func FindApp(apps []App, name string) (App, bool) {
+	for _, a := range apps {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// DeriveSeed maps a master seed and a cell's coordinates to the cell's
+// own seed, so one master word spreads decorrelated randomness across a
+// whole matrix while every cell stays individually replayable.
+func DeriveSeed(master uint64, app, plan string, m sim.Machine) uint64 {
+	// Mix the master first: folding it in raw would let (master, first
+	// byte) pairs cancel (1^'b' == 2^'a').
+	h := splitmix64(master ^ 0x6a09e667f3bcc909)
+	for _, s := range []string{app, plan} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 0x100000001b3
+		}
+		h = splitmix64(h)
+	}
+	h ^= uint64(m.NumPEs)<<32 | uint64(m.PEsPerNode)
+	return splitmix64(h)
+}
+
+// splitmix64 is the standard splitmix64 step, giving the harness its
+// own deterministic stream without sharing state with package fault.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Event is one recorded injection decision.
+type Event struct {
+	Point    Point
+	Decision Decision
+}
+
+// String renders one event as a stable one-line record.
+func (e Event) String() string {
+	return fmt.Sprintf("PE%d %s #%d arg=%d,%d -> delay=%d yields=%d cap=%d",
+		e.Point.PE, e.Point.Site, e.Point.Index, e.Point.Arg, e.Point.Arg2,
+		e.Decision.DelayCycles, e.Decision.Yields, e.Decision.Capacity)
+}
+
+// Recorder wraps an Injector and logs every decision made at a
+// deterministic site, building the replayable schedule log. Schedule-only
+// sites (whose invocation counts legitimately vary between runs) pass
+// through unrecorded, so two runs with the same seed produce identical
+// logs.
+//
+// Each hook fires on its PE's own goroutine, so the per-PE slices need
+// no locking; Log must only be called after the run completes.
+type Recorder struct {
+	inner Injector
+	perPE [][]Event
+}
+
+var _ Injector = (*Recorder)(nil)
+var _ ClockSkewer = (*Recorder)(nil)
+
+// NewRecorder wraps inner, recording for npes PEs.
+func NewRecorder(inner Injector, npes int) *Recorder {
+	return &Recorder{inner: inner, perPE: make([][]Event, npes)}
+}
+
+// Decide implements Injector: delegate, then record deterministic sites.
+func (r *Recorder) Decide(pt Point) Decision {
+	d := r.inner.Decide(pt)
+	if pt.Site.Deterministic() {
+		r.perPE[pt.PE] = append(r.perPE[pt.PE], Event{Point: pt, Decision: d})
+	}
+	return d
+}
+
+// ClockSkewPercent delegates when the inner injector skews clocks.
+func (r *Recorder) ClockSkewPercent(pe int) int64 {
+	if cs, ok := r.inner.(ClockSkewer); ok {
+		return cs.ClockSkewPercent(pe)
+	}
+	return 0
+}
+
+// Log assembles the per-PE event sequences into one schedule log. Only
+// valid after the run has completed (no hooks firing).
+//
+// Events are canonicalized: each PE's events are sorted by point. The
+// *set* of deterministic-site points (and, decisions being pure
+// functions of the point, their decisions) is fixed by seed and program
+// structure, but the order in which hooks on different channels fire
+// within one PE depends on when receivers ack - sorting removes that
+// wobble so two runs of the same seed compare byte-for-byte.
+func (r *Recorder) Log() *Log {
+	l := &Log{PerPE: make([][]Event, len(r.perPE))}
+	for pe, evs := range r.perPE {
+		sorted := append([]Event(nil), evs...)
+		sort.Slice(sorted, func(i, j int) bool { return pointLess(sorted[i].Point, sorted[j].Point) })
+		l.PerPE[pe] = sorted
+	}
+	return l
+}
+
+// pointLess is a total order over one PE's points: site, then the
+// site-specific context, then the sequence index.
+func pointLess(a, b Point) bool {
+	if a.Site != b.Site {
+		return a.Site < b.Site
+	}
+	if a.Arg != b.Arg {
+		return a.Arg < b.Arg
+	}
+	if a.Index != b.Index {
+		return a.Index < b.Index
+	}
+	return a.Arg2 < b.Arg2
+}
+
+// Log is a completed schedule log: per-PE sequences of deterministic
+// injection decisions, in hook-invocation order.
+type Log struct {
+	PerPE [][]Event
+}
+
+// Len returns the total number of recorded events.
+func (l *Log) Len() int {
+	n := 0
+	for _, evs := range l.PerPE {
+		n += len(evs)
+	}
+	return n
+}
+
+// String renders the log with one line per event, PEs in rank order -
+// the canonical form two replays of the same seed must reproduce
+// byte-for-byte.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, evs := range l.PerPE {
+		for _, e := range evs {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Diff compares two logs and describes the first divergence, or returns
+// "" when identical. Replay verification uses it for actionable
+// failures.
+func (l *Log) Diff(other *Log) string {
+	if len(l.PerPE) != len(other.PerPE) {
+		return fmt.Sprintf("PE count differs: %d vs %d", len(l.PerPE), len(other.PerPE))
+	}
+	for pe := range l.PerPE {
+		a, b := l.PerPE[pe], other.PerPE[pe]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				return fmt.Sprintf("PE %d event %d differs:\n  run A: %s\n  run B: %s", pe, i, a[i], b[i])
+			}
+		}
+		if len(a) != len(b) {
+			return fmt.Sprintf("PE %d event count differs: %d vs %d", pe, len(a), len(b))
+		}
+	}
+	return ""
+}

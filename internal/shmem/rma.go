@@ -1,6 +1,10 @@
 package shmem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"actorprof/internal/fault"
+)
 
 // Put is a blocking one-sided put (shmem_putmem): data is visible at the
 // target when Put returns. The PE's clock is charged the transfer cost
@@ -37,6 +41,12 @@ func (p *PE) PutInt64(target, offset int, v int64) {
 // the put is issued).
 func (p *PE) PutNBI(target, offset int, data []byte) {
 	p.prof(RoutinePutNBI, len(data))
+	if p.inj != nil {
+		// Injection point: a delayed NBI issue models a NIC that starts
+		// streaming late. Indexed by the PE's NBI-put ordinal, which is
+		// fixed by program structure.
+		p.fireFaultCounted(fault.SitePutNBI, int64(target), int64(len(data)))
+	}
 	p.chargeTransfer(target, len(data))
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -61,6 +71,13 @@ func (p *PE) Quiet() {
 // the routine the program called.
 func (p *PE) quiet() {
 	if len(p.pendingNBI) > 0 {
+		if p.inj != nil {
+			// Injection point: a stalled quiet delays the completion -
+			// and hence remote visibility - of every buffered put, in
+			// virtual time. Only flushing quiets fire, so the index is
+			// program-determined.
+			p.fireFaultCounted(fault.SiteQuiet, int64(len(p.pendingNBI)), int64(p.nbiBytes))
+		}
 		p.Charge(p.world.cfg.Cost.QuietLatency)
 		for _, w := range p.pendingNBI {
 			p.rawWrite(w.target, w.offset, w.data)

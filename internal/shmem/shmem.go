@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sync"
 
+	"actorprof/internal/fault"
 	"actorprof/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	// routine invocation - the pshmem-style profiling interface the
 	// paper's Section V-B proposes for capturing non-blocking routines.
 	Profile *APIProfile
+	// Fault, when non-nil, perturbs the run at the runtime's injection
+	// hooks (delays, stragglers, capacity shrinks, schedule shaking).
+	// See package fault. Nil means every hook is a no-op.
+	Fault fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +120,12 @@ type PE struct {
 	rank  int
 	clock *sim.Clock
 
+	// inj is the fault injector (nil for unperturbed runs); faultIdx
+	// holds the per-site invocation counters that key deterministic
+	// injection decisions. Only the owning goroutine touches them.
+	inj      fault.Injector
+	faultIdx [fault.NumSites]int64
+
 	heapMu sync.Mutex
 	heap   []byte
 
@@ -162,8 +173,15 @@ func (p *PE) Clock() *sim.Clock { return p.clock }
 func (p *PE) Charge(n int64) { p.clock.Charge(n) }
 
 // Yield cedes the processor to other PE goroutines. Spin loops in the
-// runtime call this to keep the simulation live on few OS threads.
-func (p *PE) Yield() { runtime.Gosched() }
+// runtime call this to keep the simulation live on few OS threads. It is
+// a documented preemption point: a fault injector may add extra yields
+// here to perturb the goroutine interleaving.
+func (p *PE) Yield() {
+	if p.inj != nil {
+		p.FaultSched(fault.SiteYield)
+	}
+	runtime.Gosched()
+}
 
 // Run executes body as an SPMD program: one goroutine per PE, all started
 // together, and waits for all of them to return. A panic in any PE is
@@ -180,11 +198,16 @@ func Run(cfg Config, body func(pe *PE)) error {
 		barr: newBarrier(n),
 		coll: newCollectives(n),
 	}
+	skewer, _ := cfg.Fault.(fault.ClockSkewer)
 	for i := 0; i < n; i++ {
 		w.pes[i] = &PE{
 			world: w,
 			rank:  i,
 			clock: sim.NewClock(cfg.Timing),
+			inj:   cfg.Fault,
+		}
+		if skewer != nil {
+			w.pes[i].clock.SetSkewPercent(skewer.ClockSkewPercent(i))
 		}
 	}
 

@@ -2,6 +2,8 @@ package shmem
 
 import (
 	"sync"
+
+	"actorprof/internal/fault"
 )
 
 // barrier is a reusable sense-reversing barrier over n participants, with
@@ -75,6 +77,12 @@ func (b *barrier) poison() {
 // overall profile depends on.
 func (p *PE) Barrier() {
 	p.prof(RoutineBarrier, 0)
+	if p.inj != nil {
+		// Injection point: stretching this PE's clock on arrival makes
+		// it the straggler whose lateness every peer pays for at the
+		// release synchronization below.
+		p.fireFaultCounted(fault.SiteBarrier, 0, 0)
+	}
 	// A barrier also implies quiet: all outstanding puts complete.
 	p.quiet()
 	max := p.world.barr.await(p.clock.Now())

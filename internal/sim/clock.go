@@ -43,6 +43,10 @@ func (m TimingMode) String() string {
 type Clock struct {
 	mode    TimingMode
 	charged atomic.Int64
+	// skewPercent inflates every Charge by skewPercent/100, modelling a
+	// persistently slow PE (fault injection). Set once before the
+	// owning goroutine starts; 0 means no skew.
+	skewPercent int64
 	// realBase is the tsc reading when the clock was created/reset;
 	// only used in Hybrid mode.
 	realBase int64
@@ -56,9 +60,25 @@ func NewClock(mode TimingMode) *Clock {
 // Mode returns the clock's timing mode.
 func (c *Clock) Mode() TimingMode { return c.mode }
 
-// Charge advances the clock by n cycles. Negative charges are ignored.
+// SetSkewPercent makes every subsequent Charge cost p percent extra (a
+// persistently slow PE, for fault injection). Must be called before the
+// owning goroutine starts charging; negative p is ignored.
+func (c *Clock) SetSkewPercent(p int64) {
+	if p > 0 {
+		c.skewPercent = p
+	}
+}
+
+// SkewPercent returns the configured charge inflation.
+func (c *Clock) SkewPercent() int64 { return c.skewPercent }
+
+// Charge advances the clock by n cycles (inflated by any configured
+// skew). Negative charges are ignored.
 func (c *Clock) Charge(n int64) {
 	if n > 0 {
+		if c.skewPercent > 0 {
+			n += n * c.skewPercent / 100
+		}
 		c.charged.Add(n)
 	}
 }

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadLogicalFile throws arbitrary bytes at the PEi_send.csv reader:
+// it must either error or return records, never panic - and a successful
+// parse must be stable under rewrite-and-reparse (the visualizer reads
+// files the profiler wrote).
+func FuzzReadLogicalFile(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("0,1,0,2,8\n"))
+	f.Add([]byte("0,1,0,2,8,99\n\n1,15,0,3,16\n"))
+	f.Add([]byte("not,a,number,at,all\n"))
+	f.Add([]byte("1,2,3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "PE0_send.csv")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := readLogicalFile(path)
+		if err != nil {
+			return
+		}
+		// Idempotence: emit the parsed records in the writer's format and
+		// parse again - must reproduce the same records.
+		s := NewSet(Config{Logical: true}, 1, 1)
+		s.Logical[0] = recs
+		if err := s.writeLogical(dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		again, err := readLogicalFile(path)
+		if err != nil {
+			t.Fatalf("re-reading rewritten file: %v", err)
+		}
+		if len(recs) != len(again) || (len(recs) > 0 && !reflect.DeepEqual(recs, again)) {
+			t.Fatalf("reparse changed records:\n%+v\nvs\n%+v", recs, again)
+		}
+	})
+}
+
+// FuzzReadSet drives the whole trace-directory reader over hostile file
+// contents: first with the fuzz data as the meta file itself, then with
+// a valid meta and the data in every per-PE and shared file. ReadSet
+// must return a set or an error, never panic.
+func FuzzReadSet(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("num_PEs 1\nPEs_per_node 1\nlogical_sample 1\n"))
+	f.Add([]byte("0,0,0,0,8\n"))
+	f.Add([]byte("Absolute [PE0] TCOMM_PROFILING (1, 2, 3)\n"))
+	f.Add([]byte("local_send,64,0,0\n"))
+	f.Add([]byte("[PE0] SEGMENT relax count=3 cycles=99\n"))
+	f.Add([]byte("[PE0] SEGMENT x count=y\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Case 1: the meta file itself is hostile.
+		dirA := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dirA, "actorprof_meta.txt"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = ReadSet(dirA)
+
+		// Case 2: valid meta, hostile everything else.
+		dirB := t.TempDir()
+		meta := []byte("num_PEs 2\nPEs_per_node 2\nlogical_sample 1\n")
+		if err := os.WriteFile(filepath.Join(dirB, "actorprof_meta.txt"), meta, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{
+			"PE0_send.csv", "PE1_send.csv", "PE0_PAPI.csv", "PE1_PAPI.csv",
+			"overall.txt", "physical.txt", "segments.txt",
+		} {
+			if err := os.WriteFile(filepath.Join(dirB, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, _ = ReadSet(dirB)
+	})
+}
