@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// hotPath names the benchmarks whose hot-path guarantees gate CI: ns/op
+// may not regress beyond the threshold and allocs/op may not regress at
+// all. Other benchmarks are compared informationally.
+var hotPath = map[string]bool{
+	"BenchmarkPushThroughput":  true,
+	"BenchmarkPushPullLocal":   true,
+	"BenchmarkHandlerDispatch": true,
+	"BenchmarkCodecRoundTrip":  true,
+}
+
+// compare checks current against baseline: for hot-path benchmarks a
+// ns/op increase beyond threshold (fraction, e.g. 0.10) or any
+// allocs/op increase fails; a hot-path benchmark missing from current
+// fails. Non-hot benchmarks are reported but never fatal (figure-scale
+// runs are too noisy at CI benchtimes to gate on). Returns the
+// human-readable report and the failure count.
+func compare(baseline, current File, threshold float64) (string, int) {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Package+"."+r.Name] = r
+	}
+	keys := make([]string, 0, len(baseline.Results))
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		k := r.Package + "." + r.Name
+		keys = append(keys, k)
+		base[k] = r
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(&b, "FAIL  "+format+"\n", args...)
+	}
+	for _, k := range keys {
+		old := base[k]
+		hot := hotPath[old.Name]
+		now, ok := cur[k]
+		if !ok {
+			if hot {
+				fail("%s: hot-path benchmark missing from current results", k)
+			} else {
+				fmt.Fprintf(&b, "skip  %s: not in current results\n", k)
+			}
+			continue
+		}
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = (now.NsPerOp - old.NsPerOp) / old.NsPerOp
+		}
+		tag := "ok  "
+		switch {
+		case hot && delta > threshold:
+			fail("%s: ns/op %.5g -> %.5g (%+.1f%% > %+.0f%% budget)",
+				k, old.NsPerOp, now.NsPerOp, 100*delta, 100*threshold)
+			tag = ""
+		case hot && now.AllocsPerOp > old.AllocsPerOp:
+			fail("%s: allocs/op %.4g -> %.4g (hot path must not allocate more)",
+				k, old.AllocsPerOp, now.AllocsPerOp)
+			tag = ""
+		case !hot && delta > threshold:
+			tag = "warn"
+		}
+		if tag != "" {
+			fmt.Fprintf(&b, "%s  %s: ns/op %.5g -> %.5g (%+.1f%%), allocs/op %.4g -> %.4g\n",
+				tag, k, old.NsPerOp, now.NsPerOp, 100*delta, old.AllocsPerOp, now.AllocsPerOp)
+		}
+	}
+	if failures == 0 {
+		fmt.Fprintf(&b, "benchmark gate passed: %d compared, threshold %+.0f%%\n",
+			len(keys), 100*threshold)
+	} else {
+		fmt.Fprintf(&b, "benchmark gate FAILED: %d regression(s)\n", failures)
+	}
+	return b.String(), failures
+}

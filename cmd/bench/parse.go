@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement across -count runs.
+type Result struct {
+	Name    string `json:"name"`
+	Package string `json:"package"`
+	// NsPerOp is the minimum across runs (least-noise estimate of the
+	// true cost; scheduling jitter only ever adds time).
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are maxima across runs: a single
+	// allocating run means the path allocates.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+	// Metrics holds custom b.ReportMetric units (e.g. msgs/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH.json document.
+type File struct {
+	Benchtime string   `json:"benchtime"`
+	Count     int      `json:"count"`
+	Results   []Result `json:"results"`
+}
+
+// cpuSuffix matches the -GOMAXPROCS suffix go test appends to benchmark
+// names when GOMAXPROCS > 1.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput reads `go test -bench -benchmem` output and
+// aggregates the per-run measurement lines into one Result per
+// benchmark, keyed by (package, name). Lines it does not recognize are
+// ignored, so the full go test stream can be fed in directly.
+func parseBenchOutput(r io.Reader) ([]Result, error) {
+	type key struct{ pkg, name string }
+	agg := make(map[key]*Result)
+	var order []key
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not a measurement line (e.g. a benchmark log)
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		k := key{pkg, name}
+		res := agg[k]
+		if res == nil {
+			res = &Result{Name: name, Package: pkg}
+			agg[k] = res
+			order = append(order, k)
+		}
+		res.Runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op":
+				if res.Runs == 1 || v < res.NsPerOp {
+					res.NsPerOp = v
+				}
+			case "B/op":
+				if v > res.BytesPerOp {
+					res.BytesPerOp = v
+				}
+			case "allocs/op":
+				if v > res.AllocsPerOp {
+					res.AllocsPerOp = v
+				}
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				if prev, ok := res.Metrics[unit]; !ok || v > prev {
+					res.Metrics[unit] = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, k := range order {
+		out = append(out, *agg[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}

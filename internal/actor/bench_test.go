@@ -71,6 +71,40 @@ func BenchmarkSendRecvSampledTrace(b *testing.B) {
 	})
 }
 
+func BenchmarkHandlerDispatch(b *testing.B) {
+	// Single-PE send-to-handler round trip: Send encodes into the
+	// aggregation slot, the buffer drains through the self-send path, and
+	// the handler dispatches off the delivery ring. Measures the full
+	// per-message hot path (no tracing), the other primary regression
+	// guard alongside BenchmarkPushThroughput.
+	err := shmem.Run(shmem.Config{Machine: sim.Machine{NumPEs: 1, PEsPerNode: 1}},
+		func(pe *shmem.PE) {
+			rt := NewRuntime(pe, RuntimeOptions{})
+			sel, err := NewActor(rt, Int64Codec())
+			if err != nil {
+				panic(err)
+			}
+			count := 0
+			sel.Process(0, func(int64, int) { count++ })
+			b.ResetTimer()
+			rt.Finish(func() {
+				sel.Start()
+				for i := 0; i < b.N; i++ {
+					sel.Send(0, int64(i), 0)
+				}
+				sel.Done(0)
+			})
+			b.StopTimer()
+			if count != b.N {
+				panic("lost messages")
+			}
+			rt.Close()
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkCodecRoundTrip(b *testing.B) {
 	codec := TripleCodec()
 	buf := make([]byte, codec.Size)

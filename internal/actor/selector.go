@@ -40,7 +40,6 @@ type Selector[T any] struct {
 	recvCount []int64
 	// inProgress guards against re-entrant progress from handler sends.
 	inProgress bool
-	buf        []byte
 }
 
 type mailbox[T any] struct {
@@ -66,7 +65,6 @@ func NewSelector[T any](rt *Runtime, n int, codec Codec[T]) (*Selector[T], error
 		convs:     make([]*conveyor.Conveyor, n),
 		sendCount: make([]int64, n),
 		recvCount: make([]int64, n),
-		buf:       make([]byte, codec.Size),
 	}
 	for mb := 0; mb < n; mb++ {
 		opts := conveyor.Options{
@@ -172,21 +170,23 @@ func (s *Selector[T]) Send(mb int, msg T, dst int) {
 		rt.pc.LogicalSend(mb, dst, s.codec.Size)
 	}
 
-	s.codec.Encode(s.buf, msg)
+	// Encode straight into the aggregation buffer's reserved slot: no
+	// staging copy. Codecs write every byte of the slot (required, since
+	// the slot may hold stale data from an earlier generation), and msg
+	// is a value, so nested handler sends cannot clobber it.
 	c := s.convs[mb]
-	if c.Push(s.buf, dst) {
+	if slot, ok := c.PushSlot(dst); ok {
+		s.codec.Encode(slot, msg)
 		return
 	}
 	// Aggregation buffer full: enter the runtime (COMM attribution),
 	// make progress - which may run this PE's handlers - and retry.
-	// Handlers may themselves Send and would clobber the shared encode
-	// buffer, so the pending message gets its own copy.
-	pending := append([]byte(nil), s.buf...)
 	rt.enterRuntime()
 	for {
 		c.Advance(false)
 		s.drain(mb)
-		if c.Push(pending, dst) {
+		if slot, ok := c.PushSlot(dst); ok {
+			s.codec.Encode(slot, msg)
 			break
 		}
 		// Also progress the other mailboxes; their backlogs can be what
@@ -272,15 +272,20 @@ func (s *Selector[T]) drain(mb int) {
 	c := s.convs[mb]
 	m := &s.mailboxes[mb]
 	rt := s.rt
+	// The dispatch cost depends only on the (fixed) message size, so the
+	// cost-model work is computed once per drained batch rather than per
+	// message; each message still tallies and charges it individually,
+	// keeping the MAIN/PROC/COMM attribution identical.
+	w := rt.costs.HandlerWork(s.codec.Size)
+	instr := rt.pe.World().Cost().InstructionCost(w.Ins)
 	for {
 		item, src, ok := c.Pull()
 		if !ok {
 			return
 		}
 		s.recvCount[mb]++
-		w := rt.costs.HandlerWork(s.codec.Size)
 		rt.engine.Tally(w)
-		rt.pe.Charge(rt.pe.World().Cost().InstructionCost(w.Ins))
+		rt.pe.Charge(instr)
 		msg := s.codec.Decode(item)
 		// Injection point (schedule-only): extra yields before dispatch
 		// let peers race ahead, perturbing the order handler effects

@@ -63,6 +63,47 @@ func BenchmarkExchangeBufferSizes(b *testing.B) {
 	}
 }
 
+func BenchmarkPushThroughput(b *testing.B) {
+	// Sustained aggregation throughput on the zero-copy slot path: encode
+	// directly into reserved slots, draining whenever the buffer fills.
+	// This is the tightest loop a sender can drive the conveyor with and
+	// the primary hot-path regression guard (must stay 0 allocs/op).
+	err := shmem.Run(shmem.Config{Machine: sim.Machine{NumPEs: 1, PEsPerNode: 1}},
+		func(pe *shmem.PE) {
+			c, err := New(pe, Options{ItemBytes: 16, BufferItems: 256})
+			if err != nil {
+				panic(err)
+			}
+			drain := func() {
+				for {
+					if _, _, ok := c.Pull(); !ok {
+						return
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for {
+					slot, ok := c.PushSlot(0)
+					if ok {
+						binary.LittleEndian.PutUint64(slot, uint64(i))
+						binary.LittleEndian.PutUint64(slot[8:], uint64(i))
+						break
+					}
+					c.Advance(false)
+					drain()
+				}
+			}
+			for c.Advance(true) {
+				drain()
+			}
+			drain()
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkPushPullLocal(b *testing.B) {
 	// Single-PE push/pull round trip cost (self-sends through the full
 	// buffer path).

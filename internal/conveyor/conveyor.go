@@ -141,14 +141,24 @@ type Conveyor struct {
 	// consumed[src] counts buffers consumed from src's channel.
 	consumed []int64
 
-	// pull queue of items delivered to this PE: flat item payloads plus
-	// their original sources.
-	pullQ   [][]byte
-	pullSrc []int
-	// unpulled holds an item returned by Unpull, delivered again first.
-	unpulledItem []byte
-	unpulledSrc  int
-	hasUnpulled  bool
+	// pull is the delivery ring of items addressed to this PE. Pull
+	// hands out borrowed views of its slots (see Pull's contract).
+	pull pullRing
+	// unpulled holds a copy of an item returned by Unpull, delivered
+	// again before the ring. The buffer is reused across Unpulls.
+	unpulled    []byte
+	unpulledSrc int
+	hasUnpulled bool
+
+	// recvBuf is the scratch buffer the receive path drains landing
+	// slots into. Ingest completes synchronously (items are copied into
+	// the delivery ring, an outgoing buffer, or the backlog before the
+	// next slot is read), so one buffer serves every channel and no
+	// per-buffer allocation happens on the receive path.
+	recvBuf []byte
+
+	// backlogFree recycles payload buffers of drained backlog entries.
+	backlogFree [][]byte
 
 	// routeBacklog holds mesh items that arrived for forwarding while
 	// the outgoing buffer toward their next hop was full and both
@@ -209,6 +219,8 @@ func New(pe *shmem.PE, opts Options) (*Conveyor, error) {
 	}
 	c.slotBytes = 8 + c.bufItems*c.wireBytes
 	c.chanBytes = 8 + slots*c.slotBytes
+	c.pull.init(c.itemBytes)
+	c.recvBuf = make([]byte, c.bufItems*c.wireBytes)
 
 	// Symmetric allocation: landing zones for every potential source and
 	// ack words for every potential destination. (Real Conveyors

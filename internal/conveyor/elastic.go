@@ -24,6 +24,9 @@ type Elastic struct {
 	maxItem int
 	// frag is the per-cell fragment capacity.
 	frag int
+	// cellBuf is the reusable staging cell EPush encodes fragments
+	// into; Push copies it into the outgoing buffer before returning.
+	cellBuf []byte
 	// assembling[src] accumulates fragments of a partially received
 	// item from each source.
 	assembling map[int]*partial
@@ -76,6 +79,7 @@ func NewElastic(pe *shmem.PE, opts ElasticOptions) (*Elastic, error) {
 		c:          c,
 		maxItem:    opts.MaxItemBytes,
 		frag:       cell - 4,
+		cellBuf:    make([]byte, cell),
 		assembling: make(map[int]*partial),
 	}, nil
 }
@@ -123,7 +127,7 @@ func (e *Elastic) EPush(item []byte, dst int) bool {
 			return false
 		}
 	}
-	cell := make([]byte, e.frag+4)
+	cell := e.cellBuf
 	remaining := item
 	first := true
 	for {

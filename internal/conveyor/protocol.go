@@ -44,6 +44,21 @@ func (c *Conveyor) Push(item []byte, dst int) bool {
 	if len(item) != c.itemBytes {
 		panic(fmt.Sprintf("conveyor: Push item of %d bytes, want %d", len(item), c.itemBytes))
 	}
+	slot, ok := c.PushSlot(dst)
+	if !ok {
+		return false
+	}
+	copy(slot, item)
+	return true
+}
+
+// PushSlot reserves space for one item toward dst and returns the
+// ItemBytes-sized payload slice to encode into, avoiding the staging
+// copy Push implies. The caller must fill the entire slice before any
+// further conveyor call (the slot may hold stale bytes from a previous
+// buffer generation). Returns ok=false under the same conditions as
+// Push; panics likewise.
+func (c *Conveyor) PushSlot(dst int) ([]byte, bool) {
 	if c.done {
 		panic("conveyor: Push after Advance(done=true)")
 	}
@@ -56,12 +71,12 @@ func (c *Conveyor) Push(item []byte, dst int) bool {
 		// Never transfer from inside Push: the append is MAIN-segment
 		// user work in the FA-BSP attribution, while buffer transfers
 		// are communication. The caller's Advance loop (COMM) flushes.
-		return false
+		return nil, false
 	}
-	c.appendItem(ob, c.pe.Rank(), dst, item)
+	slot := c.appendSlot(ob, c.pe.Rank(), dst)
 	c.stats.Pushed++
 	c.board.pushed.Add(1)
-	return true
+	return slot, true
 }
 
 // capOf returns ob's effective capacity for the current buffer
@@ -95,48 +110,62 @@ func (c *Conveyor) reserveCap(ob *outBuf, n int) {
 	}
 }
 
+// appendSlot reserves one wire-format record in ob, writes its header,
+// and returns the payload portion for the caller to fill. ob.items is
+// allocated at full BufferItems capacity up front and the capacity
+// check precedes every reservation, so the reslice never reallocates.
+func (c *Conveyor) appendSlot(ob *outBuf, orig, dst int) []byte {
+	off := len(ob.items)
+	ob.items = ob.items[:off+c.wireBytes]
+	rec := ob.items[off:]
+	binary.LittleEndian.PutUint32(rec[hdrOrig:], uint32(orig))
+	binary.LittleEndian.PutUint32(rec[hdrDst:], uint32(dst))
+	ob.n++
+	return rec[hdrBytes : hdrBytes+c.itemBytes]
+}
+
 // appendItem adds one wire-format item to an outgoing buffer.
 func (c *Conveyor) appendItem(ob *outBuf, orig, dst int, payload []byte) {
-	var hdr [hdrBytes]byte
-	binary.LittleEndian.PutUint32(hdr[hdrOrig:], uint32(orig))
-	binary.LittleEndian.PutUint32(hdr[hdrDst:], uint32(dst))
-	ob.items = append(ob.items, hdr[:]...)
-	ob.items = append(ob.items, payload...)
-	ob.n++
+	copy(c.appendSlot(ob, orig, dst), payload)
 }
 
 // Pull returns the next delivered item: its payload, the original source
-// PE, and ok=false when the pull queue is empty. The returned slice is
-// owned by the caller.
+// PE, and ok=false when the pull queue is empty. The returned slice is a
+// borrowed view into the conveyor's delivery ring: it is valid only
+// until the next conveyor call that makes progress (Advance, Push, or a
+// blocked-push retry); decode or copy it before then. Every in-repo
+// consumer decodes immediately, which is the intended idiom.
 func (c *Conveyor) Pull() (item []byte, src int, ok bool) {
 	if c.hasUnpulled {
 		c.hasUnpulled = false
-		return c.unpulledItem, c.unpulledSrc, true
+		return c.unpulled, c.unpulledSrc, true
 	}
-	if len(c.pullQ) == 0 {
-		return nil, 0, false
+	item, src, ok = c.pull.pop()
+	if ok {
+		c.stats.Pulled++
 	}
-	item, src = c.pullQ[0], c.pullSrc[0]
-	c.pullQ[0] = nil
-	c.pullQ = c.pullQ[1:]
-	c.pullSrc = c.pullSrc[1:]
-	c.stats.Pulled++
-	return item, src, true
+	return item, src, ok
 }
 
 // Unpull returns the most recently pulled item to the front of the queue
-// (convey_unpull). Only one item may be outstanding.
+// (convey_unpull). Only one item may be outstanding. The item bytes are
+// copied, so an Unpulled view stays valid across further progress.
 func (c *Conveyor) Unpull(item []byte, src int) {
 	if c.hasUnpulled {
 		panic("conveyor: double Unpull")
 	}
-	c.unpulledItem, c.unpulledSrc, c.hasUnpulled = item, src, true
+	if cap(c.unpulled) < c.itemBytes {
+		c.unpulled = make([]byte, c.itemBytes)
+	}
+	c.unpulled = c.unpulled[:c.itemBytes]
+	copy(c.unpulled, item)
+	c.unpulledSrc, c.hasUnpulled = src, true
 	c.stats.Pulled--
 }
 
 // PendingPulls returns the number of items waiting in the pull queue.
 func (c *Conveyor) PendingPulls() int {
-	n := len(c.pullQ)
+	n := c.pull.n
 	if c.hasUnpulled {
 		n++
 	}
@@ -286,7 +315,7 @@ func (c *Conveyor) receive() {
 			slot := int(c.consumed[src] % slots)
 			slotOff := zone + 8 + slot*c.slotBytes
 			n := int(c.pe.LoadInt64(me, slotOff))
-			buf := make([]byte, n*c.wireBytes)
+			buf := c.recvBuf[:n*c.wireBytes]
 			c.pe.LoadBytesLocal(slotOff+8, buf)
 			c.consumed[src]++
 			// Ack before processing: the sender may refill this slot's
@@ -307,10 +336,7 @@ func (c *Conveyor) ingest(buf []byte, n int) {
 		dst := int(binary.LittleEndian.Uint32(rec[hdrDst:]))
 		payload := rec[hdrBytes:]
 		if dst == me {
-			item := make([]byte, c.itemBytes)
-			copy(item, payload)
-			c.pullQ = append(c.pullQ, item)
-			c.pullSrc = append(c.pullSrc, orig)
+			c.pull.push(payload, orig)
 			c.stats.Delivered++
 			c.board.delivered.Add(1)
 			continue
@@ -325,7 +351,7 @@ func (c *Conveyor) ingest(buf []byte, n int) {
 		if len(c.routeBacklog) > 0 || (ob.n >= c.capOf(ob) && !c.tryTransfer(ob)) {
 			// Preserve per-pair ordering: once anything is backlogged,
 			// all further forwards queue behind it.
-			p := make([]byte, c.itemBytes)
+			p := c.getBacklogBuf()
 			copy(p, payload)
 			c.routeBacklog = append(c.routeBacklog, routedItem{orig: orig, dst: dst, payload: p})
 			continue
@@ -339,6 +365,17 @@ func (c *Conveyor) ingest(buf []byte, n int) {
 type routedItem struct {
 	orig, dst int
 	payload   []byte
+}
+
+// getBacklogBuf returns an ItemBytes payload buffer for a parked
+// forward, recycling buffers released by drainBacklog.
+func (c *Conveyor) getBacklogBuf() []byte {
+	if n := len(c.backlogFree); n > 0 {
+		b := c.backlogFree[n-1]
+		c.backlogFree = c.backlogFree[:n-1]
+		return b
+	}
+	return make([]byte, c.itemBytes)
 }
 
 // drainBacklog retries parked forwards, preserving order per next hop: a
@@ -363,6 +400,7 @@ func (c *Conveyor) drainBacklog() {
 			continue
 		}
 		c.appendItem(ob, it.orig, it.dst, it.payload)
+		c.backlogFree = append(c.backlogFree, it.payload)
 		c.stats.Routed++
 	}
 	c.routeBacklog = remaining

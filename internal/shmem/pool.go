@@ -1,0 +1,55 @@
+package shmem
+
+import "math/bits"
+
+// NBI staging-buffer recycling. PutNBI must snapshot the caller's data
+// until Quiet delivers it; on the conveyor hot path that is two puts
+// (payload + length word) per shipped buffer, so without reuse the
+// staging copies dominate the runtime's allocation profile. Buffers are
+// pooled per PE (only the owning goroutine touches them) in power-of-two
+// size classes, bounded so a burst cannot pin unbounded memory.
+const (
+	// nbiMaxClass caps pooled buffers at 1<<nbiMaxClass bytes; larger
+	// staging copies are allocated and dropped as before.
+	nbiMaxClass = 20
+	// nbiMaxFree bounds the number of retained buffers per class.
+	nbiMaxFree = 64
+)
+
+// nbiClass returns the power-of-two size class for n bytes: the smallest
+// c with 1<<c >= n.
+func nbiClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getNBIBuf returns an n-byte staging buffer, recycled when possible.
+func (p *PE) getNBIBuf(n int) []byte {
+	cls := nbiClass(n)
+	if cls <= nbiMaxClass {
+		if l := p.nbiFree[cls]; len(l) > 0 {
+			b := l[len(l)-1]
+			p.nbiFree[cls] = l[:len(l)-1]
+			return b[:n]
+		}
+		return make([]byte, n, 1<<cls)
+	}
+	return make([]byte, n)
+}
+
+// putNBIBuf returns a staging buffer to its class's free list. Buffers
+// whose capacity is not an exact pooled class (allocated before the pool
+// existed, or oversized) are dropped to the garbage collector.
+func (p *PE) putNBIBuf(b []byte) {
+	c := cap(b)
+	if c == 0 || bits.OnesCount(uint(c)) != 1 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls > nbiMaxClass || len(p.nbiFree[cls]) >= nbiMaxFree {
+		return
+	}
+	p.nbiFree[cls] = append(p.nbiFree[cls], b[:0])
+}

@@ -48,7 +48,7 @@ func (p *PE) PutNBI(target, offset int, data []byte) {
 		p.fireFaultCounted(fault.SitePutNBI, int64(target), int64(len(data)))
 	}
 	p.chargeTransfer(target, len(data))
-	cp := make([]byte, len(data))
+	cp := p.getNBIBuf(len(data))
 	copy(cp, data)
 	p.pendingNBI = append(p.pendingNBI, pendingWrite{target: target, offset: offset, data: cp})
 	p.nbiBytes += len(data)
@@ -79,8 +79,12 @@ func (p *PE) quiet() {
 			p.fireFaultCounted(fault.SiteQuiet, int64(len(p.pendingNBI)), int64(p.nbiBytes))
 		}
 		p.Charge(p.world.cfg.Cost.QuietLatency)
-		for _, w := range p.pendingNBI {
+		for i, w := range p.pendingNBI {
 			p.rawWrite(w.target, w.offset, w.data)
+			// rawWrite copied the staging buffer into the target heap,
+			// so it can be recycled for future puts.
+			p.putNBIBuf(w.data)
+			p.pendingNBI[i].data = nil
 		}
 		p.pendingNBI = p.pendingNBI[:0]
 		p.nbiBytes = 0

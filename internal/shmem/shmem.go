@@ -134,6 +134,9 @@ type PE struct {
 	pendingNBI []pendingWrite
 	// nbiBytes is the total payload bytes buffered in pendingNBI.
 	nbiBytes int
+	// nbiFree recycles PutNBI staging buffers by power-of-two size
+	// class (see pool.go). Only the owning goroutine touches it.
+	nbiFree [nbiMaxClass + 1][][]byte
 
 	// allocCursor is this PE's private symmetric-heap break pointer.
 	// Every PE computes identical offsets from the same collective

@@ -231,7 +231,7 @@ func ReadSet(dir string) (*Set, error) {
 	s := NewSet(cfg, npes, perNode)
 
 	for pe := 0; pe < npes; pe++ {
-		recs, err := readLogicalFile(filepath.Join(dir, logicalFile(pe)))
+		recs, err := readLogicalFile(filepath.Join(dir, logicalFile(pe)), npes)
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue
@@ -243,7 +243,7 @@ func ReadSet(dir string) (*Set, error) {
 		s.LogicalSendCount[pe] = int64(len(recs)) * int64(sample)
 	}
 	for pe := 0; pe < npes; pe++ {
-		recs, err := readPAPIFile(filepath.Join(dir, papiFile(pe)), len(events))
+		recs, err := readPAPIFile(filepath.Join(dir, papiFile(pe)), len(events), npes)
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue
@@ -315,7 +315,36 @@ func readMeta(path string) (npes, perNode int, events []papi.Event, sample int, 
 	if npes <= 0 {
 		return 0, 0, nil, 0, fmt.Errorf("trace: meta file %s has no num_PEs", path)
 	}
+	if npes > maxReadPEs {
+		return 0, 0, nil, 0, fmt.Errorf("trace: meta file %s claims %d PEs (max %d); refusing to allocate",
+			path, npes, maxReadPEs)
+	}
+	if perNode <= 0 || perNode > npes {
+		return 0, 0, nil, 0, fmt.Errorf("trace: meta file %s has PEs_per_node %d for %d PEs", path, perNode, npes)
+	}
+	if sample <= 0 {
+		sample = 1 // pre-normalization configs wrote 0 for "keep all"
+	}
 	return npes, perNode, events, sample, nil
+}
+
+// maxReadPEs caps the PE count a meta file may claim: the per-PE slices
+// ReadSet allocates (and the per-PE files it probes) scale with it, so a
+// corrupt meta line must not drive the reader into huge allocations.
+const maxReadPEs = 1 << 20
+
+// checkPERange rejects records whose endpoints fall outside the world
+// declared by the meta file. The analysis layer indexes matrices with
+// these values directly, so admitting them here would turn a corrupt
+// trace line into an index-out-of-range panic during visualization.
+func checkPERange(kind string, src, dst, npes int) error {
+	if src < 0 || src >= npes {
+		return fmt.Errorf("trace: %s record with src PE %d outside [0, %d)", kind, src, npes)
+	}
+	if dst < 0 || dst >= npes {
+		return fmt.Errorf("trace: %s record with dst PE %d outside [0, %d)", kind, dst, npes)
+	}
+	return nil
 }
 
 func parseIntFields(line string, want int) ([]int64, error) {
@@ -334,7 +363,7 @@ func parseIntFields(line string, want int) ([]int64, error) {
 	return out, nil
 }
 
-func readLogicalFile(path string) ([]LogicalRecord, error) {
+func readLogicalFile(path string, npes int) ([]LogicalRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -350,6 +379,9 @@ func readLogicalFile(path string) ([]LogicalRecord, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := checkPERange("logical", int(v[1]), int(v[3]), npes); err != nil {
+			return nil, err
+		}
 		recs = append(recs, LogicalRecord{
 			SrcNode: int(v[0]), SrcPE: int(v[1]),
 			DstNode: int(v[2]), DstPE: int(v[3]), MsgSize: int(v[4]),
@@ -358,7 +390,7 @@ func readLogicalFile(path string) ([]LogicalRecord, error) {
 	return recs, sc.Err()
 }
 
-func readPAPIFile(path string, nEvents int) ([]PAPIRecord, error) {
+func readPAPIFile(path string, nEvents, npes int) ([]PAPIRecord, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -372,6 +404,9 @@ func readPAPIFile(path string, nEvents int) ([]PAPIRecord, error) {
 		}
 		v, err := parseIntFields(sc.Text(), 7+nEvents)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkPERange("PAPI", int(v[1]), int(v[3]), npes); err != nil {
 			return nil, err
 		}
 		recs = append(recs, PAPIRecord{
@@ -456,10 +491,10 @@ func readPhysicalFile(path string, npes int) ([][]PhysicalRecord, error) {
 			}
 			nums[i] = n
 		}
-		src := nums[1]
-		if src < 0 || src >= npes {
-			return nil, fmt.Errorf("trace: physical record with src PE %d out of range", src)
+		if err := checkPERange("physical", nums[1], nums[2], npes); err != nil {
+			return nil, err
 		}
+		src := nums[1]
 		perPE[src] = append(perPE[src], PhysicalRecord{
 			Kind: kind, BufBytes: nums[0], SrcPE: src, DstPE: nums[2],
 		})

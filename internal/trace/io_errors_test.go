@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTraceDir materializes a trace directory from file name -> content.
+func writeTraceDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goodMeta = "num_PEs 4\nPEs_per_node 2\nlogical_sample 1\n"
+
+// ReadSet must reject malformed or hostile trace directories with an
+// error - never a panic, and never by admitting records that would blow
+// up later in the analysis layer (LogicalMatrix/PhysicalMatrix index
+// matrices by the PEs read from disk).
+func TestReadSetErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		files   map[string]string
+		wantErr string // substring of the error; "" means must succeed
+	}{
+		{
+			name:    "missing meta",
+			files:   map[string]string{},
+			wantErr: "reading meta",
+		},
+		{
+			name:    "empty meta",
+			files:   map[string]string{"actorprof_meta.txt": ""},
+			wantErr: "no num_PEs",
+		},
+		{
+			name:    "meta with zero PEs",
+			files:   map[string]string{"actorprof_meta.txt": "num_PEs 0\n"},
+			wantErr: "no num_PEs",
+		},
+		{
+			name:    "meta with negative PEs",
+			files:   map[string]string{"actorprof_meta.txt": "num_PEs -3\n"},
+			wantErr: "no num_PEs",
+		},
+		{
+			name:    "meta with absurd PE count",
+			files:   map[string]string{"actorprof_meta.txt": "num_PEs 9999999999\n"},
+			wantErr: "refusing to allocate",
+		},
+		{
+			name:    "meta with zero PEs per node",
+			files:   map[string]string{"actorprof_meta.txt": "num_PEs 4\nPEs_per_node 0\n"},
+			wantErr: "PEs_per_node",
+		},
+		{
+			name:    "meta with non-numeric PE count",
+			files:   map[string]string{"actorprof_meta.txt": "num_PEs four\n"},
+			wantErr: "bad meta line",
+		},
+		{
+			name:    "meta with unknown PAPI event",
+			files:   map[string]string{"actorprof_meta.txt": "num_PEs 4\npapi_events NO_SUCH_EVENT\n"},
+			wantErr: "NO_SUCH_EVENT",
+		},
+		{
+			name: "empty logical CSV is fine",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE0_send.csv":       "",
+			},
+		},
+		{
+			name: "header-only logical CSV",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE0_send.csv":       "src_node,src_pe,dst_node,dst_pe,msg_size\n",
+			},
+			wantErr: "field 0",
+		},
+		{
+			name: "truncated logical line",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE0_send.csv":       "0,1,0\n",
+			},
+			wantErr: "want >= 5",
+		},
+		{
+			name: "logical src PE out of range",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE0_send.csv":       "0,7,0,1,8\n",
+			},
+			wantErr: "src PE 7 outside",
+		},
+		{
+			name: "logical dst PE negative",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE0_send.csv":       "0,1,0,-2,8\n",
+			},
+			wantErr: "dst PE -2 outside",
+		},
+		{
+			name: "truncated PAPI line",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE1_PAPI.csv":       "0,1,0,2\n",
+			},
+			wantErr: "want >= 7",
+		},
+		{
+			name: "PAPI dst PE out of range",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"PE1_PAPI.csv":       "0,1,0,4,8,0,1\n",
+			},
+			wantErr: "dst PE 4 outside",
+		},
+		{
+			name: "physical with unknown send type",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"physical.txt":       "warp_send,1024,0,1\n",
+			},
+			wantErr: "unknown send type",
+		},
+		{
+			name: "physical dst PE out of range",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"physical.txt":       "local_send,1024,0,9\n",
+			},
+			wantErr: "dst PE 9 outside",
+		},
+		{
+			name: "physical truncated line",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"physical.txt":       "local_send,1024\n",
+			},
+			wantErr: "bad physical line",
+		},
+		{
+			name: "overall garbage line",
+			files: map[string]string{
+				"actorprof_meta.txt": goodMeta,
+				"overall.txt":        "Absolute [PEx] TCOMM_PROFILING (1, 2, 3)\n",
+			},
+			wantErr: "bad overall line",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeTraceDir(t, tc.files)
+			s, err := ReadSet(dir)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ReadSet: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ReadSet accepted hostile input, got set with %d PEs", s.NumPEs)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ReadSet error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A trace that passes ReadSet must also be safe to analyze: the matrix
+// builders index by the PEs that the readers admitted.
+func TestReadSetThenMatricesNoPanic(t *testing.T) {
+	dir := writeTraceDir(t, map[string]string{
+		"actorprof_meta.txt": goodMeta,
+		"PE0_send.csv":       "0,0,1,3,8\n0,0,0,1,8\n",
+		"PE3_send.csv":       "1,3,0,0,8\n",
+		"physical.txt":       "local_send,1024,0,1\nnonblock_send,2048,1,3\n",
+	})
+	s, err := ReadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := s.LogicalMatrix()
+	if lm[0][3] != 1 || lm[3][0] != 1 {
+		t.Errorf("logical matrix wrong: %v", lm)
+	}
+	pm := s.PhysicalMatrix()
+	if pm[0][1] != 1 || pm[1][3] != 1 {
+		t.Errorf("physical matrix wrong: %v", pm)
+	}
+}

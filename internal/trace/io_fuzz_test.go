@@ -23,7 +23,7 @@ func FuzzReadLogicalFile(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, err := readLogicalFile(path)
+		recs, err := readLogicalFile(path, maxReadPEs)
 		if err != nil {
 			return
 		}
@@ -34,7 +34,7 @@ func FuzzReadLogicalFile(f *testing.F) {
 		if err := s.writeLogical(dir, 0); err != nil {
 			t.Fatal(err)
 		}
-		again, err := readLogicalFile(path)
+		again, err := readLogicalFile(path, maxReadPEs)
 		if err != nil {
 			t.Fatalf("re-reading rewritten file: %v", err)
 		}

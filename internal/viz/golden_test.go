@@ -1,0 +1,145 @@
+package viz
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// Golden-file coverage for every renderer the figure pipeline uses: the
+// fixtures below are fixed, so any change to layout, scaling, glyph
+// ramps, or SVG structure shows up as a reviewable diff. After an
+// intentional rendering change, regenerate with
+//
+//	go test ./internal/viz -run TestGolden -update
+//
+// and commit the updated testdata files.
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if string(want) == got {
+		return
+	}
+	wantLines := strings.Split(string(want), "\n")
+	gotLines := strings.Split(got, "\n")
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Fatalf("%s: first difference at line %d:\nwant: %q\ngot:  %q\n(rerun with -update if intentional)",
+				path, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s: output differs (rerun with -update if intentional)", path)
+}
+
+func goldenHeatmap() *Heatmap {
+	return &Heatmap{
+		Title: "logical sends, fixture",
+		Cells: [][]int64{
+			{12, 0, 3, 900},
+			{1, 45, 0, 2},
+			{0, 7, 150, 7},
+			{33, 33, 33, 0},
+		},
+		Totals: true,
+	}
+}
+
+func goldenViolin() *Violin {
+	// Deterministic bimodal-ish samples (one per "PE").
+	cyclic := make([]float64, 32)
+	ranged := make([]float64, 32)
+	for i := range cyclic {
+		cyclic[i] = float64(100 + (i*37)%40)
+		ranged[i] = float64(50 + i*i%300)
+	}
+	return &Violin{
+		Title:  "messages per PE, fixture",
+		YLabel: "messages",
+		Groups: []ViolinGroup{
+			{Label: "cyclic sends", Values: cyclic},
+			{Label: "range recvs", Values: ranged},
+		},
+	}
+}
+
+func goldenBar() *Bar {
+	return &Bar{
+		Title:  "PAPI_TOT_INS per PE, fixture",
+		YLabel: "instructions",
+		Labels: []string{"PE0", "PE1", "PE2", "PE3", "PE4", "PE5"},
+		Values: []int64{120000, 98000, 143000, 143000, 7000, 101000},
+	}
+}
+
+func goldenGroupedBar() *GroupedBar {
+	return &GroupedBar{
+		Title:  "PAPI counters per PE, fixture",
+		YLabel: "events",
+		Labels: []string{"PE0", "PE1", "PE2", "PE3"},
+		Series: []Series{
+			{Name: "TOT_INS", Values: []int64{1200000, 1180000, 1430000, 900000}},
+			{Name: "LST_INS", Values: []int64{400000, 380000, 520000, 310000}},
+			{Name: "L1_DCM", Values: []int64{52000, 49000, 81000, 33000}},
+		},
+		LogHint: true,
+	}
+}
+
+func TestGoldenRenderers(t *testing.T) {
+	cases := []struct {
+		name string
+		text func(w *bytes.Buffer) error
+		svg  func() (string, error)
+	}{
+		{"heatmap_totals", func(w *bytes.Buffer) error { return goldenHeatmap().RenderText(w) },
+			func() (string, error) { return goldenHeatmap().RenderSVG() }},
+		{"violin", func(w *bytes.Buffer) error { return goldenViolin().RenderText(w) },
+			func() (string, error) { return goldenViolin().RenderSVG() }},
+		{"bar", func(w *bytes.Buffer) error { return goldenBar().RenderText(w) },
+			func() (string, error) { return goldenBar().RenderSVG() }},
+		{"groupedbar", func(w *bytes.Buffer) error { return goldenGroupedBar().RenderText(w) },
+			func() (string, error) { return goldenGroupedBar().RenderSVG() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/text", func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.text(&buf); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name+"_text", buf.String())
+		})
+		t.Run(tc.name+"/svg", func(t *testing.T) {
+			svg, err := tc.svg()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name+"_svg", svg)
+		})
+	}
+}
