@@ -71,11 +71,33 @@ func run(args []string) error {
 
 	set, err := trace.ReadSet(dir)
 	if err != nil {
-		return err
+		return fmt.Errorf("reading trace directory %s: %w", dir, err)
 	}
 	fmt.Printf("trace: %s (%d PEs, %d per node)\n\n", dir, set.NumPEs, set.PEsPerNode)
 
 	all := !*logical && !*papiBar && !*overall && !*physical && !*violins && *traceEvents == ""
+	// Degenerate and partial directories must produce a friendly error,
+	// not a silent no-op (or, historically, a stats panic on empty violin
+	// input): tell the user which feature the trace is missing.
+	if !all {
+		switch {
+		case *logical && !set.Config.Logical:
+			return fmt.Errorf("trace %s has no logical trace (-l needs PEi_send.csv files; enable trace.Config.Logical)", dir)
+		case *physical && !set.Config.Physical:
+			return fmt.Errorf("trace %s has no physical trace (-p needs physical.txt; enable trace.Config.Physical)", dir)
+		case *violins && !set.Config.Logical && !set.Config.Physical:
+			return fmt.Errorf("trace %s has neither logical nor physical records; nothing to plot with -violin", dir)
+		case *papiBar && len(set.Config.PAPIEvents) == 0:
+			return fmt.Errorf("trace %s has no PAPI events (-lp needs PEi_PAPI.csv files and papi_events in the meta file)", dir)
+		case *overall && !set.Config.Overall:
+			return fmt.Errorf("trace %s has no overall breakdown (-s needs overall.txt; enable trace.Config.Overall)", dir)
+		case *traceEvents != "" && !set.Config.Physical:
+			return fmt.Errorf("trace %s has no physical trace; -trace-events has nothing to export", dir)
+		}
+	} else if !set.Config.Logical && !set.Config.Physical && !set.Config.Overall &&
+		len(set.Config.PAPIEvents) == 0 {
+		return fmt.Errorf("trace %s has no renderable data (only the meta file); was the run traced?", dir)
+	}
 	svg := func(name, doc string) error {
 		if *svgDir == "" {
 			return nil

@@ -130,6 +130,102 @@ func TestCLITraceEvents(t *testing.T) {
 	}
 }
 
+func TestCLIDegenerateTraceDirs(t *testing.T) {
+	// Empty, partial, and truncated trace directories must produce a
+	// friendly error (or a clean zero-data render), never a panic.
+	meta := "num_PEs 4\nPEs_per_node 2\n"
+	cases := []struct {
+		name    string
+		files   map[string]string
+		args    []string
+		wantErr string // "" = must succeed
+	}{
+		{
+			name:    "empty dir",
+			files:   map[string]string{},
+			args:    nil,
+			wantErr: "reading trace directory",
+		},
+		{
+			name:    "meta only, default plots",
+			files:   map[string]string{"actorprof_meta.txt": meta},
+			args:    nil,
+			wantErr: "no renderable data",
+		},
+		{
+			name:    "meta only, violin requested",
+			files:   map[string]string{"actorprof_meta.txt": meta},
+			args:    []string{"-violin"},
+			wantErr: "nothing to plot",
+		},
+		{
+			name:    "no overall, -s requested",
+			files:   map[string]string{"actorprof_meta.txt": meta, "PE0_send.csv": ""},
+			args:    []string{"-s"},
+			wantErr: "no overall breakdown",
+		},
+		{
+			name:    "no PAPI, -lp requested",
+			files:   map[string]string{"actorprof_meta.txt": meta, "PE0_send.csv": ""},
+			args:    []string{"-lp"},
+			wantErr: "no PAPI events",
+		},
+		{
+			name:    "no physical, trace-events requested",
+			files:   map[string]string{"actorprof_meta.txt": meta, "PE0_send.csv": ""},
+			args:    []string{"-trace-events", "out.json"},
+			wantErr: "nothing to export",
+		},
+		{
+			name:    "truncated logical line",
+			files:   map[string]string{"actorprof_meta.txt": meta, "PE0_send.csv": "0,0,1"},
+			args:    []string{"-l"},
+			wantErr: "reading trace directory",
+		},
+		{
+			name:    "truncated overall line",
+			files:   map[string]string{"actorprof_meta.txt": meta, "overall.txt": "Absolute [PE0] TCOMM_PROFILING (1, 2"},
+			args:    []string{"-s"},
+			wantErr: "reading trace directory",
+		},
+		{
+			// No sends at all: all-zero violins must render, not crash
+			// (the historical stats.Summarize empty-input panic path).
+			name:    "empty csv renders zero plots",
+			files:   map[string]string{"actorprof_meta.txt": meta, "PE0_send.csv": "", "physical.txt": ""},
+			args:    []string{"-violin"},
+			wantErr: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for name, content := range tc.files {
+				if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var err error
+			out := capture(t, func() error {
+				err = run(append(append([]string(nil), tc.args...), dir))
+				return nil
+			})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if !strings.Contains(out, "quartiles") {
+					t.Errorf("zero-data violin did not render:\n%s", out)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestCLIBadArguments(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("expected error for missing trace dir")

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/apps"
+	"actorprof/internal/core"
+	"actorprof/internal/sim"
+)
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-dir", "/nonexistent/root"}, io.Discard); err == nil {
+		t.Error("expected error for missing -dir root")
+	}
+	if err := run(ctx, []string{t.TempDir()}, io.Discard); err == nil {
+		t.Error("expected error for positional arguments")
+	}
+	if err := run(ctx, []string{"-addr", "not an address", "-dir", t.TempDir()}, io.Discard); err == nil {
+		t.Error("expected error for bad listen address")
+	}
+}
+
+// TestDaemonServesAndShutsDown boots the real daemon on an ephemeral
+// port against a generated trace, curls the health and plot endpoints,
+// and then shuts it down via context cancellation (the SIGINT path).
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	root := t.TempDir()
+	set, err := core.Run(core.Options{
+		Machine: sim.Machine{NumPEs: 4, PEsPerNode: 2},
+		Trace:   core.FullTrace(),
+	}, func(rt *actor.Runtime) error {
+		_, err := apps.Histogram(rt, apps.HistogramConfig{
+			UpdatesPerPE: 100, TableSizePerPE: 16, Seed: 5,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WriteFiles(root + "/sample"); err != nil {
+		t.Fatal(err)
+	}
+
+	addrCh := make(chan string, 1)
+	testOnReady = func(addr string) { addrCh <- addr }
+	defer func() { testOnReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	var mu sync.Mutex
+	lockedOut := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-dir", root}, lockedOut) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	for _, path := range []string{
+		"/healthz",
+		"/runs/sample/plots/overall-absolute.svg",
+		"/runs/sample/plots/papi-bar.json",
+	} {
+		res, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, res.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(out.String(), "shut down") {
+		t.Errorf("missing shutdown message in output: %q", out.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

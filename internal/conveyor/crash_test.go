@@ -1,0 +1,55 @@
+package conveyor
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"actorprof/internal/shmem"
+)
+
+func TestPEPanicMidExchangeDoesNotHangPeers(t *testing.T) {
+	// Regression for the crash-path hang: a PE panicking mid-exchange
+	// poisons the barrier, but its peers are not in a barrier - they are
+	// spinning in the Push/Advance progress loop waiting for acks and
+	// deliveries that the dead PE will never produce. Run must still
+	// return (with the panic as the root-cause error) instead of hanging
+	// until the test binary times out.
+	const npes = 4
+	done := make(chan error, 1)
+	go func() {
+		done <- shmem.Run(cfg(npes, 2), func(pe *shmem.PE) {
+			c, err := New(pe, Options{ItemBytes: 8})
+			if err != nil {
+				panic(err)
+			}
+			item := make([]byte, 8)
+			for i := 0; i < 500; i++ {
+				if pe.Rank() == 2 && i == 100 {
+					panic("PE 2 crashed mid-exchange")
+				}
+				binary.LittleEndian.PutUint64(item, uint64(i))
+				dst := (pe.Rank() + i) % npes
+				for !c.Push(item, dst) {
+					c.Advance(false)
+				}
+			}
+			for c.Advance(true) {
+				for {
+					if _, _, ok := c.Pull(); !ok {
+						break
+					}
+				}
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "PE 2 panicked") {
+			t.Fatalf("expected the PE 2 panic as root cause, got %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("shmem.Run hung: conveyor peers kept spinning on the crashed PE")
+	}
+}

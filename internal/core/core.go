@@ -43,6 +43,13 @@ type Options struct {
 	// V-B), including the non-blocking routines conventional profilers
 	// miss.
 	APIProfile *shmem.APIProfile
+	// StreamDir, when non-empty, switches the run to a streaming
+	// collector that writes trace records into this directory as they
+	// are produced instead of buffering them (paper Section VI: traces
+	// can reach 100 GB). The directory is finalized when Run returns;
+	// while the run is still executing, actorprofd (or trace.ReadSetLive)
+	// can ingest the directory and serve the plots live.
+	StreamDir string
 }
 
 // App is the SPMD application body, run once per PE with that PE's actor
@@ -55,7 +62,13 @@ func Run(opts Options, app App) (*trace.Set, error) {
 	if err := opts.Machine.Validate(); err != nil {
 		return nil, err
 	}
-	coll, err := trace.NewCollector(opts.Trace, opts.Machine)
+	var coll *trace.Collector
+	var err error
+	if opts.StreamDir != "" {
+		coll, err = trace.NewStreamingCollector(opts.Trace, opts.Machine, opts.StreamDir)
+	} else {
+		coll, err = trace.NewCollector(opts.Trace, opts.Machine)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +92,11 @@ func Run(opts Options, app App) (*trace.Set, error) {
 	})
 	if runErr != nil {
 		return nil, runErr
+	}
+	if coll.Streaming() {
+		if err := coll.Finalize(); err != nil {
+			return nil, err
+		}
 	}
 	return coll.Set(), nil
 }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// renderResult is one rendered artifact: the bytes plus the content type
+// they should be served with.
+type renderResult struct {
+	data        []byte
+	contentType string
+}
+
+// flight tracks one in-progress render so that concurrent requests for
+// the same artifact wait for it instead of rendering redundantly
+// (single-flight de-duplication).
+type flight struct {
+	done chan struct{}
+	res  renderResult
+	err  error
+}
+
+// cache is a byte-budgeted LRU of rendered artifacts. Keys embed the
+// source directory's fingerprint, so a changed (live) trace directory
+// naturally misses and renders fresh bytes while the stale entry ages
+// out of the LRU order; nothing ever needs explicit invalidation.
+type cache struct {
+	maxBytes int64
+	metrics  *Metrics
+
+	mu      sync.Mutex
+	bytes   int64
+	order   *list.List // front = most recently used; values are *entry
+	items   map[string]*list.Element
+	flights map[string]*flight
+}
+
+type entry struct {
+	key string
+	res renderResult
+}
+
+func newCache(maxBytes int64, m *Metrics) *cache {
+	return &cache{
+		maxBytes: maxBytes,
+		metrics:  m,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// getOrRender returns the cached artifact for key, or renders it.
+// Concurrent calls with the same key share one render: the first caller
+// runs render() outside the lock, the rest block on its completion.
+// Render errors are returned to every waiter and are not cached.
+func (c *cache) getOrRender(key string, render func() (renderResult, error)) (renderResult, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		c.metrics.cacheHits.Add(1)
+		return el.Value.(*entry).res, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.metrics.cacheCoalesced.Add(1)
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	// A render that panics unwinds past the assignment below; waiters
+	// then see this error instead of a zero result.
+	f.err = errors.New("serve: render aborted")
+	c.flights[key] = f
+	c.mu.Unlock()
+	c.metrics.cacheMisses.Add(1)
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.insertLocked(key, f.res)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.res, f.err = render()
+	return f.res, f.err
+}
+
+// insertLocked adds res under key and evicts from the cold end until the
+// byte budget holds again. The newest entry always stays, even when it
+// alone exceeds the budget: the bytes are already rendered, and serving
+// repeats of an oversized artifact is the whole point of the cache.
+func (c *cache) insertLocked(key string, res renderResult) {
+	if el, ok := c.items[key]; ok {
+		// A fresher render of the same key (possible when the entry was
+		// evicted and re-requested while we rendered): replace it.
+		c.bytes -= int64(len(el.Value.(*entry).res.data))
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, res: res})
+	c.bytes += int64(len(res.data))
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		coldest := c.order.Back()
+		e := coldest.Value.(*entry)
+		c.order.Remove(coldest)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.res.data))
+		c.metrics.cacheEvictions.Add(1)
+	}
+	c.metrics.cacheBytes.Store(c.bytes)
+}
+
+// len reports the number of cached entries (test hook).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"actorprof/internal/trace"
+)
+
+// metaFileName mirrors internal/trace's meta file: its presence is what
+// marks a directory as a trace directory.
+const metaFileName = "actorprof_meta.txt"
+
+// RunInfo describes one trace directory the daemon serves.
+type RunInfo struct {
+	ID         string   `json:"id"`
+	Dir        string   `json:"dir"`
+	NumPEs     int      `json:"num_pes"`
+	PEsPerNode int      `json:"pes_per_node"`
+	Live       bool     `json:"live"`
+	Skipped    int      `json:"skipped_lines"`
+	Features   []string `json:"features"`
+}
+
+// registry resolves run IDs to trace directories and caches their parsed
+// Sets, keyed by a directory fingerprint so that a directory still being
+// streamed into is re-parsed when (and only when) its files change.
+type registry struct {
+	root     string
+	metrics  *Metrics
+	parseSem chan struct{} // bounds concurrent ReadSetLive calls
+
+	mu   sync.Mutex
+	runs map[string]*runEntry
+}
+
+type runEntry struct {
+	mu      sync.Mutex // serializes parsing of this one run
+	fp      string
+	set     *trace.Set
+	skipped int
+	live    bool
+}
+
+func newRegistry(root string, parseConcurrency int, m *Metrics) *registry {
+	return &registry{
+		root:     root,
+		metrics:  m,
+		parseSem: make(chan struct{}, parseConcurrency),
+		runs:     make(map[string]*runEntry),
+	}
+}
+
+func isTraceDir(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, metaFileName))
+	return err == nil && fi.Mode().IsRegular()
+}
+
+// rootID names the root directory when it is itself a trace directory.
+func rootID(root string) string {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return "run"
+	}
+	id := filepath.Base(abs)
+	if id == "/" || id == "." || id == "" {
+		id = "run"
+	}
+	return id
+}
+
+// scan maps run IDs to directories: the root itself when it is a trace
+// directory, plus every immediate child directory that is one. A child
+// whose name collides with the root's ID wins (the root stays reachable
+// by moving the trace into a child).
+func (r *registry) scan() (map[string]string, error) {
+	dirs := make(map[string]string)
+	if isTraceDir(r.root) {
+		dirs[rootID(r.root)] = r.root
+	}
+	entries, err := os.ReadDir(r.root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scanning %s: %w", r.root, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(r.root, e.Name())
+		if isTraceDir(sub) {
+			dirs[e.Name()] = sub
+		}
+	}
+	return dirs, nil
+}
+
+// fingerprint summarizes a trace directory's contents (file names,
+// sizes, modification times). Two identical fingerprints mean the parsed
+// Set is still valid; any write into the directory changes it.
+func fingerprint(dir string) (fp string, live bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false, err
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // racing a concurrent delete; the fingerprint changes anyway
+		}
+		if strings.HasSuffix(e.Name(), ".part") {
+			live = true
+		}
+		fmt.Fprintf(&b, "%s\x00%d\x00%d\x01", e.Name(), info.Size(), info.ModTime().UnixNano())
+	}
+	return b.String(), live, nil
+}
+
+// load returns the parsed Set for a run, along with its fingerprint (the
+// cache-key component) and its RunInfo. It re-parses only when the
+// directory changed since the last parse, and bounds how many parses run
+// at once across all runs.
+func (r *registry) load(id string) (*trace.Set, string, RunInfo, error) {
+	dirs, err := r.scan()
+	if err != nil {
+		return nil, "", RunInfo{}, err
+	}
+	dir, ok := dirs[id]
+	if !ok {
+		return nil, "", RunInfo{}, statusError{code: 404, msg: fmt.Sprintf("unknown run %q", id)}
+	}
+	fp, live, err := fingerprint(dir)
+	if err != nil {
+		return nil, "", RunInfo{}, err
+	}
+
+	r.mu.Lock()
+	e := r.runs[id]
+	if e == nil {
+		e = &runEntry{}
+		r.runs[id] = e
+	}
+	r.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.set == nil || e.fp != fp {
+		r.parseSem <- struct{}{}
+		start := time.Now()
+		set, skipped, err := trace.ReadSetLive(dir)
+		r.metrics.observeParse(time.Since(start), skipped)
+		<-r.parseSem
+		if err != nil {
+			return nil, "", RunInfo{}, fmt.Errorf("serve: parsing run %q: %w", id, err)
+		}
+		e.set, e.fp, e.skipped, e.live = set, fp, skipped, live
+	}
+	return e.set, e.fp, r.infoLocked(id, dir, e), nil
+}
+
+// list scans the root and returns every run's info, parsing as needed.
+func (r *registry) list() ([]RunInfo, error) {
+	dirs, err := r.scan()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(dirs))
+	for id := range dirs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	infos := make([]RunInfo, 0, len(ids))
+	for _, id := range ids {
+		_, _, info, err := r.load(id)
+		if err != nil {
+			// A run that fails to parse stays listed (its ID is real) with
+			// no features, so the listing never fails wholesale because one
+			// directory is corrupt.
+			infos = append(infos, RunInfo{ID: id, Dir: dirs[id]})
+			continue
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+func (r *registry) infoLocked(id, dir string, e *runEntry) RunInfo {
+	info := RunInfo{
+		ID:         id,
+		Dir:        dir,
+		NumPEs:     e.set.NumPEs,
+		PEsPerNode: e.set.PEsPerNode,
+		Live:       e.live,
+		Skipped:    e.skipped,
+	}
+	cfg := e.set.Config
+	if cfg.Logical {
+		info.Features = append(info.Features, "logical")
+	}
+	if cfg.Physical {
+		info.Features = append(info.Features, "physical")
+	}
+	if cfg.Overall {
+		info.Features = append(info.Features, "overall")
+	}
+	if len(cfg.PAPIEvents) > 0 {
+		info.Features = append(info.Features, "papi")
+	}
+	return info
+}

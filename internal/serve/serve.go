@@ -1,0 +1,314 @@
+// Package serve is actorprofd's engine: an HTTP layer over trace
+// directories that parses them through internal/trace (tolerantly, so a
+// directory a streaming collector is still writing into can be watched
+// live) and serves every ActorProf visualization - the heatmaps, violin
+// plots, PAPI bars, and overall stacked bars of the paper's figures - as
+// SVG documents and JSON payloads, plus the chrome://tracing export.
+//
+// Rendered artifacts live in a byte-budgeted LRU cache with
+// single-flight de-duplication: concurrent requests for the same plot
+// render it once. Cache keys embed a fingerprint of the trace
+// directory's files, so live directories re-render exactly when their
+// contents change, with no invalidation protocol.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"actorprof/internal/trace"
+	"actorprof/internal/viz"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Root is the directory to serve: either itself a trace directory or
+	// a directory whose children are trace directories. Required.
+	Root string
+	// CacheBytes budgets the rendered-artifact cache (default 64 MiB).
+	CacheBytes int64
+	// ParseConcurrency bounds how many trace directories parse at once
+	// (default 2; parses are the memory-hungry operation).
+	ParseConcurrency int
+	// RequestTimeout bounds each request end to end (default 30s).
+	RequestTimeout time.Duration
+}
+
+// Server serves trace directories over HTTP. Create one with New and
+// mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *cache
+	reg     *registry
+	handler http.Handler
+}
+
+// New validates cfg and builds the server.
+func New(cfg Config) (*Server, error) {
+	fi, err := os.Stat(cfg.Root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: root: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("serve: root %s is not a directory", cfg.Root)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.ParseConcurrency <= 0 {
+		cfg.ParseConcurrency = 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	m := newMetrics()
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   newCache(cfg.CacheBytes, m),
+		reg:     newRegistry(cfg.Root, cfg.ParseConcurrency, m),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/runs", s.handleRuns)
+	mux.HandleFunc("GET /runs/{run}/plots/{plot}", s.handlePlot)
+	mux.HandleFunc("GET /runs/{run}/trace-events.json", s.handleTraceEvents)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+
+	var h http.Handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
+	s.handler = s.instrument(h)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler: every endpoint, wrapped in
+// the per-request timeout and the metrics middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the server's counters (the /metrics data).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// instrument counts requests and response codes around next.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.observeResponse(rec.code)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// fail writes err as an HTTP error, mapping statusError codes through
+// and everything else to 500.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var se statusError
+	if errors.As(err, &se) {
+		http.Error(w, se.msg, se.code)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	runs, err := s.reg.scan()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","runs":%d}`+"\n", len(runs))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.reg.list()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"runs": infos})
+}
+
+// handlePlot serves /runs/{run}/plots/{kind}.{svg|json}, the daemon's
+// main endpoint.
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
+	runID := r.PathValue("run")
+	name := r.PathValue("plot")
+	kind, format, ok := splitPlotName(name)
+	if !ok {
+		s.fail(w, statusError{code: 404, msg: fmt.Sprintf(
+			"unknown plot %q; plots are <kind>.svg or <kind>.json with kind one of: %s",
+			name, strings.Join(artifactNames(), ", "))})
+		return
+	}
+	art := artifacts[kind]
+	param := r.URL.Query().Get("event")
+
+	set, fp, _, err := s.reg.load(runID)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := art.check(set); err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	key := strings.Join([]string{runID, fp, name, param}, "\x00")
+	res, err := s.cache.getOrRender(key, func() (renderResult, error) {
+		start := time.Now()
+		defer func() { s.metrics.observeRender(time.Since(start)) }()
+		if format == "svg" {
+			p, err := art.plot(set, param)
+			if err != nil {
+				return renderResult{}, err
+			}
+			var buf bytes.Buffer
+			if err := viz.RenderSVGTo(p, &buf); err != nil {
+				return renderResult{}, err
+			}
+			return renderResult{data: buf.Bytes(), contentType: "image/svg+xml"}, nil
+		}
+		v, err := art.json(set, param)
+		if err != nil {
+			return renderResult{}, err
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return renderResult{}, err
+		}
+		return renderResult{data: data, contentType: "application/json"}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Write(res.data)
+}
+
+func splitPlotName(name string) (kind, format string, ok bool) {
+	dot := strings.LastIndexByte(name, '.')
+	if dot < 0 {
+		return "", "", false
+	}
+	kind, format = name[:dot], name[dot+1:]
+	if format != "svg" && format != "json" {
+		return "", "", false
+	}
+	_, known := artifacts[kind]
+	return kind, format, known
+}
+
+// handleTraceEvents serves the physical trace as Google Trace Event JSON
+// (loadable in chrome://tracing / Perfetto), cached like any plot.
+func (s *Server) handleTraceEvents(w http.ResponseWriter, r *http.Request) {
+	runID := r.PathValue("run")
+	set, fp, _, err := s.reg.load(runID)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !set.Config.Physical {
+		s.fail(w, noData("run has no physical trace; nothing to export"))
+		return
+	}
+	key := strings.Join([]string{runID, fp, "trace-events"}, "\x00")
+	res, err := s.cache.getOrRender(key, func() (renderResult, error) {
+		start := time.Now()
+		defer func() { s.metrics.observeRender(time.Since(start)) }()
+		var buf bytes.Buffer
+		if err := set.ExportTraceEvents(&buf); err != nil {
+			return renderResult{}, err
+		}
+		return renderResult{data: buf.Bytes(), contentType: "application/json"}, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Write(res.data)
+}
+
+// handleIndex renders a minimal HTML directory of runs and plot links.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.reg.list()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<!doctype html><title>actorprofd</title><h1>actorprofd</h1>\n")
+	if len(infos) == 0 {
+		b.WriteString("<p>No trace directories found under the served root.</p>\n")
+	}
+	for _, info := range infos {
+		fmt.Fprintf(&b, "<h2>%s</h2><ul>\n", htmlEscape(info.ID))
+		if info.Live {
+			b.WriteString("<li><em>live: run still streaming</em></li>\n")
+		}
+		for _, kind := range artifactNames() {
+			if artifacts[kind].check(setStub(info)) != nil {
+				continue
+			}
+			fmt.Fprintf(&b, `<li><a href="/runs/%s/plots/%s.svg">%s.svg</a> | <a href="/runs/%s/plots/%s.json">json</a></li>`+"\n",
+				info.ID, kind, kind, info.ID, kind)
+		}
+		for _, f := range info.Features {
+			if f == "physical" {
+				fmt.Fprintf(&b, `<li><a href="/runs/%s/trace-events.json">trace-events.json</a> (chrome://tracing)</li>`+"\n", info.ID)
+			}
+		}
+		b.WriteString("</ul>\n")
+	}
+	fmt.Fprint(w, b.String())
+}
+
+// setStub rebuilds just enough of a Set from a RunInfo for the artifact
+// availability checks (which only consult Config and the PE counts).
+func setStub(info RunInfo) *trace.Set {
+	s := &trace.Set{NumPEs: info.NumPEs, PEsPerNode: info.PEsPerNode}
+	for _, f := range info.Features {
+		switch f {
+		case "logical":
+			s.Config.Logical = true
+		case "physical":
+			s.Config.Physical = true
+		case "overall":
+			s.Config.Overall = true
+		case "papi":
+			s.Config.PAPIEvents = append(s.Config.PAPIEvents, 0)
+		}
+	}
+	return s
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

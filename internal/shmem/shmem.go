@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"actorprof/internal/fault"
 	"actorprof/internal/sim"
@@ -85,7 +86,29 @@ type World struct {
 	// that the simulation keeps as plain shared memory.
 	sharedMu sync.Mutex
 	shared   map[any]any
+
+	// failed flips when any PE panics. Barrier waiters are unblocked by
+	// barrier poisoning, but PEs spinning in progress loops (conveyor
+	// Advance, Quiet landing-zone waits, WaitUntil polls) never reach a
+	// barrier; they observe this flag at their Yield preemption point and
+	// abort instead of spinning on a peer that will never answer.
+	failed     atomic.Bool
+	failedRank atomic.Int64 // rank of the first crashed PE
 }
+
+// Failed reports whether any PE of this world has crashed.
+func (w *World) Failed() bool { return w.failed.Load() }
+
+// fail records the first crashed PE and raises the world failure flag.
+func (w *World) fail(rank int) {
+	w.failedRank.CompareAndSwap(-1, int64(rank))
+	w.failed.Store(true)
+}
+
+// peerAbort is the panic value Yield raises on surviving PEs once the
+// world has failed; Run translates it into a secondary error so the
+// root-cause panic stays the error Run returns.
+type peerAbort struct{ crashed int64 }
 
 // Shared returns the world-wide singleton for key, creating it with
 // create on first use. Safe for concurrent use by all PEs.
@@ -178,8 +201,13 @@ func (p *PE) Charge(n int64) { p.clock.Charge(n) }
 // Yield cedes the processor to other PE goroutines. Spin loops in the
 // runtime call this to keep the simulation live on few OS threads. It is
 // a documented preemption point: a fault injector may add extra yields
-// here to perturb the goroutine interleaving.
+// here to perturb the goroutine interleaving, and it is where a PE
+// observes that a peer has crashed (the world failure flag) and aborts
+// instead of spinning forever on a dead partner.
 func (p *PE) Yield() {
+	if p.world.failed.Load() {
+		panic(peerAbort{crashed: p.world.failedRank.Load()})
+	}
 	if p.inj != nil {
 		p.FaultSched(fault.SiteYield)
 	}
@@ -201,6 +229,7 @@ func Run(cfg Config, body func(pe *PE)) error {
 		barr: newBarrier(n),
 		coll: newCollectives(n),
 	}
+	w.failedRank.Store(-1)
 	skewer, _ := cfg.Fault.(fault.ClockSkewer)
 	for i := 0; i < n; i++ {
 		w.pes[i] = &PE{
@@ -215,6 +244,7 @@ func Run(cfg Config, body func(pe *PE)) error {
 	}
 
 	errs := make([]error, n)
+	secondary := make([]bool, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -222,14 +252,32 @@ func Run(cfg Config, body func(pe *PE)) error {
 		go func() {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
+				r := recover()
+				if r == nil {
+					return
+				}
+				switch a := r.(type) {
+				case peerAbort:
+					// This PE did not crash: it bailed out of a spin loop
+					// because PE a.crashed did. Record a secondary error so
+					// Run still reports the root cause first.
+					errs[pe.rank] = fmt.Errorf("shmem: PE %d aborted: PE %d crashed",
+						pe.rank, a.crashed)
+					secondary[pe.rank] = true
+				case barrierPoisoned:
+					errs[pe.rank] = fmt.Errorf("shmem: PE %d aborted: barrier poisoned by a crashed PE",
+						pe.rank)
+					secondary[pe.rank] = true
+				default:
 					buf := make([]byte, 16<<10)
 					sz := runtime.Stack(buf, false)
 					errs[pe.rank] = fmt.Errorf("shmem: PE %d panicked: %v\n%s",
 						pe.rank, r, buf[:sz])
-					// Unblock peers that may be waiting in a barrier:
-					// poison the barrier so they fail fast instead of
-					// deadlocking.
+					// Unblock the peers: poison the barrier for PEs waiting
+					// there, and raise the world failure flag for PEs
+					// spinning in progress loops (they observe it in Yield)
+					// so all of them fail fast instead of deadlocking.
+					w.fail(pe.rank)
 					w.barr.poison()
 				}
 			}()
@@ -237,10 +285,17 @@ func Run(cfg Config, body func(pe *PE)) error {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	var firstSecondary error
+	for rank, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !secondary[rank] {
 			return err
 		}
+		if firstSecondary == nil {
+			firstSecondary = err
+		}
 	}
-	return nil
+	return firstSecondary
 }

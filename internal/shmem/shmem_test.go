@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"actorprof/internal/sim"
 )
@@ -67,6 +68,38 @@ func TestPanicPoisonsBarrier(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected an error from the panicking PE")
+	}
+	// The root-cause panic, not a secondary barrier-poisoned abort, must
+	// be the error Run reports.
+	if !strings.Contains(err.Error(), "PE 0 panicked") {
+		t.Fatalf("expected the root-cause PE 0 panic, got %v", err)
+	}
+}
+
+func TestPeerCrashUnblocksSpinLoops(t *testing.T) {
+	// Regression: a crashed PE used to poison only the barrier. Peers
+	// spinning in progress loops (the conveyor Advance/Quiet shape:
+	// Yield between polls of a word only the dead PE would write) never
+	// reach a barrier and hung forever. The world failure flag observed
+	// in Yield must make them fail fast.
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(Config{Machine: machine(4, 4)}, func(pe *PE) {
+			off := pe.Malloc(8)
+			if pe.Rank() == 0 {
+				panic("crash mid-exchange")
+			}
+			// Never satisfied: only PE 0 would have written this word.
+			pe.WaitUntilInt64(off, CmpNe, 0)
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "PE 0 panicked") {
+			t.Fatalf("expected the PE 0 panic as root cause, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run hung: peer crash did not unblock spin loops")
 	}
 }
 

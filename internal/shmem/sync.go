@@ -6,6 +6,11 @@ import (
 	"actorprof/internal/fault"
 )
 
+// barrierPoisoned is the panic value await raises on PEs blocked in (or
+// arriving at) a poisoned barrier; Run translates it into a secondary
+// error behind the crashed PE's own.
+type barrierPoisoned struct{}
+
 // barrier is a reusable sense-reversing barrier over n participants, with
 // panic poisoning so a crashed PE does not deadlock its peers.
 type barrier struct {
@@ -37,7 +42,7 @@ func (b *barrier) await(clock int64) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
-		panic("shmem: barrier poisoned by a crashed PE")
+		panic(barrierPoisoned{})
 	}
 	if clock > b.maxClock {
 		b.maxClock = clock
@@ -59,7 +64,7 @@ func (b *barrier) await(clock int64) int64 {
 		b.cond.Wait()
 	}
 	if b.poisoned {
-		panic("shmem: barrier poisoned by a crashed PE")
+		panic(barrierPoisoned{})
 	}
 	return b.releaseClock
 }

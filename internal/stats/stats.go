@@ -46,10 +46,12 @@ func quantile(sorted []float64, p float64) float64 {
 }
 
 // Summarize computes the five-number summary of vals. It copies and
-// sorts; the input is not modified. Panics on empty input.
+// sorts; the input is not modified. Empty input yields the zero summary,
+// consistent with Mean's 0 (degenerate traces must not crash the
+// visualizer).
 func Summarize(vals []float64) Quartiles {
 	if len(vals) == 0 {
-		panic("stats: Summarize of empty slice")
+		return Quartiles{}
 	}
 	s := append([]float64(nil), vals...)
 	sort.Float64s(s)
@@ -118,13 +120,14 @@ type Density struct {
 
 // EstimateDensity builds a kernel-smoothed histogram with the given
 // number of bins. Gaussian kernel, Silverman's rule-of-thumb bandwidth.
-// Panics on empty input; a single distinct value yields a unit spike.
+// Empty input yields an all-zero density (consistent with Summarize and
+// Mean); a single distinct value yields a unit spike.
 func EstimateDensity(vals []float64, bins int) Density {
-	if len(vals) == 0 {
-		panic("stats: EstimateDensity of empty slice")
-	}
 	if bins <= 0 {
 		bins = 32
+	}
+	if len(vals) == 0 {
+		return Density{Weights: make([]float64, bins)}
 	}
 	lo, hi := vals[0], vals[0]
 	for _, v := range vals {

@@ -48,13 +48,27 @@ func TestSummarizeDoesNotMutate(t *testing.T) {
 	}
 }
 
-func TestSummarizePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestEmptyInputConsistency(t *testing.T) {
+	// Empty input must yield zero values across the package, never a
+	// panic: degenerate traces (no sends) reach these through the CLI.
+	if q := Summarize(nil); q != (Quartiles{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero summary", q)
+	}
+	if q := SummarizeInts(nil); q != (Quartiles{}) {
+		t.Errorf("SummarizeInts(nil) = %+v, want zero summary", q)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+	d := EstimateDensity(nil, 8)
+	if len(d.Weights) != 8 {
+		t.Fatalf("EstimateDensity(nil, 8) has %d weights, want 8", len(d.Weights))
+	}
+	for i, w := range d.Weights {
+		if w != 0 {
+			t.Errorf("EstimateDensity(nil) weight %d = %v, want 0", i, w)
 		}
-	}()
-	Summarize(nil)
+	}
 }
 
 func TestQuartileOrderingProperty(t *testing.T) {

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -93,49 +95,62 @@ func (s *Set) writeSegments(dir string) error {
 	})
 }
 
-func readSegmentsFile(path string, nEvents int) ([]SegmentRecord, error) {
+func readSegmentsFile(path string, nEvents int, tolerant bool) ([]SegmentRecord, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	var recs []SegmentRecord
+	skipped := 0
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[1] != "SEGMENT" {
-			return nil, fmt.Errorf("trace: bad segments line %q", line)
-		}
-		var pe int
-		if _, err := fmt.Sscanf(fields[0], "[PE%d]", &pe); err != nil {
-			return nil, fmt.Errorf("trace: bad segments line %q: %w", line, err)
-		}
-		rec := SegmentRecord{PE: pe, Name: fields[2], Counters: make([]int64, 0, nEvents)}
-		for _, kv := range fields[3:] {
-			eq := strings.IndexByte(kv, '=')
-			if eq < 0 {
-				return nil, fmt.Errorf("trace: bad segments field %q", kv)
+		rec, err := parseSegmentLine(line, nEvents)
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
 			}
-			v, err := strconv.ParseInt(kv[eq+1:], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: bad segments field %q: %w", kv, err)
-			}
-			switch kv[:eq] {
-			case "count":
-				rec.Count = v
-			case "cycles":
-				rec.Cycles = v
-			default:
-				rec.Counters = append(rec.Counters, v)
-			}
+			return nil, 0, err
 		}
 		recs = append(recs, rec)
 	}
-	return recs, sc.Err()
+	return recs, skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
+func parseSegmentLine(line string, nEvents int) (SegmentRecord, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[1] != "SEGMENT" {
+		return SegmentRecord{}, fmt.Errorf("trace: bad segments line %q", line)
+	}
+	var pe int
+	if _, err := fmt.Sscanf(fields[0], "[PE%d]", &pe); err != nil {
+		return SegmentRecord{}, fmt.Errorf("trace: bad segments line %q: %w", line, err)
+	}
+	rec := SegmentRecord{PE: pe, Name: fields[2], Counters: make([]int64, 0, nEvents)}
+	for _, kv := range fields[3:] {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return SegmentRecord{}, fmt.Errorf("trace: bad segments field %q", kv)
+		}
+		v, err := strconv.ParseInt(kv[eq+1:], 10, 64)
+		if err != nil {
+			return SegmentRecord{}, fmt.Errorf("trace: bad segments field %q: %w", kv, err)
+		}
+		switch kv[:eq] {
+		case "count":
+			rec.Count = v
+		case "cycles":
+			rec.Cycles = v
+		default:
+			rec.Counters = append(rec.Counters, v)
+		}
+	}
+	return rec, nil
 }
 
 func writeLines(path string, emit func(w *bufio.Writer) error) error {
@@ -221,59 +236,119 @@ func (s *Set) writePhysical(dir string) error {
 
 // ReadSet loads a trace directory written by WriteFiles back into a Set.
 // Missing optional files simply leave the corresponding feature disabled,
-// so the visualizer can work with partial trace directories.
+// so the visualizer can work with partial trace directories. Every line
+// must parse: a malformed record is an error. For directories a streaming
+// collector is still writing into, use ReadSetLive instead.
 func ReadSet(dir string) (*Set, error) {
+	s, _, err := readSet(dir, false)
+	return s, err
+}
+
+// ReadSetLive loads a trace directory that may still be being written by
+// a streaming collector. Unlike ReadSet it tolerates the artifacts of a
+// run in progress: malformed lines (the torn tail a concurrent writer
+// has only partially flushed) are skipped rather than fatal, and when
+// physical.txt has not been assembled yet the per-PE physical.PE*.part
+// files are merged in its place. It returns the number of lines skipped;
+// a nonzero count on a *finished* directory indicates corruption that
+// ReadSet would have reported as an error.
+func ReadSetLive(dir string) (*Set, int, error) {
+	return readSet(dir, true)
+}
+
+func readSet(dir string, tolerant bool) (*Set, int, error) {
 	npes, perNode, events, sample, err := readMeta(filepath.Join(dir, metaFile))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	cfg := Config{PAPIEvents: events, LogicalSample: sample}
 	s := NewSet(cfg, npes, perNode)
+	skipped := 0
 
 	for pe := 0; pe < npes; pe++ {
-		recs, err := readLogicalFile(filepath.Join(dir, logicalFile(pe)), npes)
+		recs, n, err := readLogicalFile(filepath.Join(dir, logicalFile(pe)), npes, tolerant)
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue
 			}
-			return nil, err
+			return nil, 0, err
 		}
+		skipped += n
 		s.Config.Logical = true
 		s.Logical[pe] = recs
 		s.LogicalSendCount[pe] = int64(len(recs)) * int64(sample)
 	}
 	for pe := 0; pe < npes; pe++ {
-		recs, err := readPAPIFile(filepath.Join(dir, papiFile(pe)), len(events), npes)
+		recs, n, err := readPAPIFile(filepath.Join(dir, papiFile(pe)), len(events), npes, tolerant)
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue
 			}
-			return nil, err
+			return nil, 0, err
 		}
+		skipped += n
 		s.PAPI[pe] = recs
 	}
-	if recs, err := readOverallFile(filepath.Join(dir, overallFile)); err == nil {
+	if recs, n, err := readOverallFile(filepath.Join(dir, overallFile), tolerant); err == nil {
+		skipped += n
 		s.Config.Overall = true
 		s.Overall = recs
 	} else if !os.IsNotExist(err) {
-		return nil, err
+		return nil, 0, err
 	}
-	if perPE, err := readPhysicalFile(filepath.Join(dir, physicalFile), npes); err == nil {
+	if perPE, n, err := readPhysicalFile(filepath.Join(dir, physicalFile), npes, tolerant); err == nil {
+		skipped += n
 		s.Config.Physical = true
 		s.Physical = perPE
 	} else if !os.IsNotExist(err) {
-		return nil, err
+		return nil, 0, err
+	} else if tolerant {
+		// A live streaming dir assembles physical.txt only at Finalize;
+		// until then the records sit in per-PE .part files.
+		perPE, n, found, err := readPhysicalParts(dir, npes)
+		if err != nil {
+			return nil, 0, err
+		}
+		if found {
+			skipped += n
+			s.Config.Physical = true
+			s.Physical = perPE
+		}
 	}
-	if recs, err := readSegmentsFile(filepath.Join(dir, segmentsFile), len(events)); err == nil {
+	if recs, n, err := readSegmentsFile(filepath.Join(dir, segmentsFile), len(events), tolerant); err == nil {
+		skipped += n
 		for _, r := range recs {
 			if r.PE >= 0 && r.PE < npes {
 				s.Segments[r.PE] = append(s.Segments[r.PE], r)
 			}
 		}
 	} else if !os.IsNotExist(err) {
-		return nil, err
+		return nil, 0, err
 	}
-	return s, nil
+	return s, skipped, nil
+}
+
+// readPhysicalParts merges the physical.PE*.part files of a streaming
+// run that has not been finalized. Parts are always read tolerantly:
+// their tails are being appended to while we read.
+func readPhysicalParts(dir string, npes int) (perPE [][]PhysicalRecord, skipped int, found bool, err error) {
+	perPE = make([][]PhysicalRecord, npes)
+	for pe := 0; pe < npes; pe++ {
+		f, err := os.Open(filepath.Join(dir, physicalPart(pe)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, 0, false, err
+		}
+		found = true
+		n, parseErr := parsePhysicalLines(f, perPE, npes, true)
+		skipped += n
+		if err := errors.Join(parseErr, f.Close()); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	return perPE, skipped, found, nil
 }
 
 func readMeta(path string) (npes, perNode int, events []papi.Event, sample int, err error) {
@@ -347,6 +422,17 @@ func checkPERange(kind string, src, dst, npes int) error {
 	return nil
 }
 
+// scanErr classifies a scanner error for tolerant mode: a too-long line
+// is content corruption (count it as skipped, stop parsing), anything
+// else (a real I/O failure) stays fatal.
+func scanErr(err error, tolerant bool, skipped *int) error {
+	if err != nil && tolerant && errors.Is(err, bufio.ErrTooLong) {
+		*skipped++
+		return nil
+	}
+	return err
+}
+
 func parseIntFields(line string, want int) ([]int64, error) {
 	parts := strings.Split(line, ",")
 	if len(parts) < want {
@@ -363,51 +449,61 @@ func parseIntFields(line string, want int) ([]int64, error) {
 	return out, nil
 }
 
-func readLogicalFile(path string, npes int) ([]LogicalRecord, error) {
+func readLogicalFile(path string, npes int, tolerant bool) ([]LogicalRecord, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	var recs []LogicalRecord
+	skipped := 0
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		if strings.TrimSpace(sc.Text()) == "" {
 			continue
 		}
 		v, err := parseIntFields(sc.Text(), 5)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			err = checkPERange("logical", int(v[1]), int(v[3]), npes)
 		}
-		if err := checkPERange("logical", int(v[1]), int(v[3]), npes); err != nil {
-			return nil, err
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
+			}
+			return nil, 0, err
 		}
 		recs = append(recs, LogicalRecord{
 			SrcNode: int(v[0]), SrcPE: int(v[1]),
 			DstNode: int(v[2]), DstPE: int(v[3]), MsgSize: int(v[4]),
 		})
 	}
-	return recs, sc.Err()
+	return recs, skipped, scanErr(sc.Err(), tolerant, &skipped)
 }
 
-func readPAPIFile(path string, nEvents, npes int) ([]PAPIRecord, error) {
+func readPAPIFile(path string, nEvents, npes int, tolerant bool) ([]PAPIRecord, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	var recs []PAPIRecord
+	skipped := 0
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		if strings.TrimSpace(sc.Text()) == "" {
 			continue
 		}
 		v, err := parseIntFields(sc.Text(), 7+nEvents)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			err = checkPERange("PAPI", int(v[1]), int(v[3]), npes)
 		}
-		if err := checkPERange("PAPI", int(v[1]), int(v[3]), npes); err != nil {
-			return nil, err
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
+			}
+			return nil, 0, err
 		}
 		recs = append(recs, PAPIRecord{
 			SrcNode: int(v[0]), SrcPE: int(v[1]),
@@ -416,16 +512,17 @@ func readPAPIFile(path string, nEvents, npes int) ([]PAPIRecord, error) {
 			Counters: v[7:],
 		})
 	}
-	return recs, sc.Err()
+	return recs, skipped, scanErr(sc.Err(), tolerant, &skipped)
 }
 
-func readOverallFile(path string) ([]OverallRecord, error) {
+func readOverallFile(path string, tolerant bool) ([]OverallRecord, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	byPE := map[int]*OverallRecord{}
+	skipped := 0
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -436,12 +533,16 @@ func readOverallFile(path string) ([]OverallRecord, error) {
 		var m, c, p int64
 		if _, err := fmt.Sscanf(line, "Absolute [PE%d] TCOMM_PROFILING (%d, %d, %d)",
 			&pe, &m, &c, &p); err != nil {
-			return nil, fmt.Errorf("trace: bad overall line %q: %w", line, err)
+			if tolerant {
+				skipped++
+				continue
+			}
+			return nil, 0, fmt.Errorf("trace: bad overall line %q: %w", line, err)
 		}
 		byPE[pe] = &OverallRecord{PE: pe, TMain: m, TComm: c, TProc: p, TTotal: m + c + p}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	if err := scanErr(sc.Err(), tolerant, &skipped); err != nil {
+		return nil, 0, err
 	}
 	pes := make([]int, 0, len(byPE))
 	for pe := range byPE {
@@ -452,52 +553,70 @@ func readOverallFile(path string) ([]OverallRecord, error) {
 	for _, pe := range pes {
 		recs = append(recs, *byPE[pe])
 	}
-	return recs, nil
+	return recs, skipped, nil
 }
 
-func readPhysicalFile(path string, npes int) ([][]PhysicalRecord, error) {
+func readPhysicalFile(path string, npes int, tolerant bool) ([][]PhysicalRecord, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	perPE := make([][]PhysicalRecord, npes)
-	sc := bufio.NewScanner(f)
+	skipped, err := parsePhysicalLines(f, perPE, npes, tolerant)
+	return perPE, skipped, err
+}
+
+// parsePhysicalLines parses physical-trace lines from r into perPE. It
+// is shared between the finalized physical.txt and the live per-PE
+// .part files (which hold the same line format).
+func parsePhysicalLines(r io.Reader, perPE [][]PhysicalRecord, npes int, tolerant bool) (int, error) {
+	skipped := 0
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
-		parts := strings.Split(line, ",")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("trace: bad physical line %q", line)
-		}
-		var kind conveyor.SendKind
-		switch parts[0] {
-		case conveyor.LocalSend.String():
-			kind = conveyor.LocalSend
-		case conveyor.NonblockSend.String():
-			kind = conveyor.NonblockSend
-		case conveyor.NonblockProgress.String():
-			kind = conveyor.NonblockProgress
-		default:
-			return nil, fmt.Errorf("trace: unknown send type %q", parts[0])
-		}
-		var nums [3]int
-		for i := 0; i < 3; i++ {
-			n, err := strconv.Atoi(strings.TrimSpace(parts[i+1]))
-			if err != nil {
-				return nil, fmt.Errorf("trace: bad physical line %q: %w", line, err)
+		rec, err := parsePhysicalLine(line, npes)
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
 			}
-			nums[i] = n
+			return 0, err
 		}
-		if err := checkPERange("physical", nums[1], nums[2], npes); err != nil {
-			return nil, err
-		}
-		src := nums[1]
-		perPE[src] = append(perPE[src], PhysicalRecord{
-			Kind: kind, BufBytes: nums[0], SrcPE: src, DstPE: nums[2],
-		})
+		perPE[rec.SrcPE] = append(perPE[rec.SrcPE], rec)
 	}
-	return perPE, sc.Err()
+	return skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
+func parsePhysicalLine(line string, npes int) (PhysicalRecord, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 4 {
+		return PhysicalRecord{}, fmt.Errorf("trace: bad physical line %q", line)
+	}
+	var kind conveyor.SendKind
+	switch parts[0] {
+	case conveyor.LocalSend.String():
+		kind = conveyor.LocalSend
+	case conveyor.NonblockSend.String():
+		kind = conveyor.NonblockSend
+	case conveyor.NonblockProgress.String():
+		kind = conveyor.NonblockProgress
+	default:
+		return PhysicalRecord{}, fmt.Errorf("trace: unknown send type %q", parts[0])
+	}
+	var nums [3]int
+	for i := 0; i < 3; i++ {
+		n, err := strconv.Atoi(strings.TrimSpace(parts[i+1]))
+		if err != nil {
+			return PhysicalRecord{}, fmt.Errorf("trace: bad physical line %q: %w", line, err)
+		}
+		nums[i] = n
+	}
+	if err := checkPERange("physical", nums[1], nums[2], npes); err != nil {
+		return PhysicalRecord{}, err
+	}
+	return PhysicalRecord{Kind: kind, BufBytes: nums[0], SrcPE: nums[1], DstPE: nums[2]}, nil
 }

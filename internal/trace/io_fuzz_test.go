@@ -23,7 +23,11 @@ func FuzzReadLogicalFile(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, err := readLogicalFile(path, maxReadPEs)
+		// Tolerant mode must never error on content problems, only skip.
+		if _, _, err := readLogicalFile(path, maxReadPEs, true); err != nil {
+			t.Fatalf("tolerant read errored: %v", err)
+		}
+		recs, _, err := readLogicalFile(path, maxReadPEs, false)
 		if err != nil {
 			return
 		}
@@ -34,7 +38,7 @@ func FuzzReadLogicalFile(f *testing.F) {
 		if err := s.writeLogical(dir, 0); err != nil {
 			t.Fatal(err)
 		}
-		again, err := readLogicalFile(path, maxReadPEs)
+		again, _, err := readLogicalFile(path, maxReadPEs, false)
 		if err != nil {
 			t.Fatalf("re-reading rewritten file: %v", err)
 		}
@@ -63,6 +67,7 @@ func FuzzReadSet(f *testing.F) {
 			t.Fatal(err)
 		}
 		_, _ = ReadSet(dirA)
+		_, _, _ = ReadSetLive(dirA)
 
 		// Case 2: valid meta, hostile everything else.
 		dirB := t.TempDir()
@@ -79,5 +84,10 @@ func FuzzReadSet(f *testing.F) {
 			}
 		}
 		_, _ = ReadSet(dirB)
+		// The live reader must tolerate the same hostility without error:
+		// with a valid meta, content-level corruption is skipped, not fatal.
+		if _, _, err := ReadSetLive(dirB); err != nil {
+			t.Fatalf("ReadSetLive errored on content corruption: %v", err)
+		}
 	})
 }

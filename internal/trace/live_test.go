@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeLiveDir lays out a trace directory the way a streaming collector
+// leaves it mid-run: meta present, logical CSVs with a torn final line
+// (the writer's buffer flushed mid-record), and per-PE physical .part
+// files not yet assembled into physical.txt.
+func writeLiveDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"actorprof_meta.txt": "num_PEs 2\nPEs_per_node 2\nlogical_sample 1\n",
+		"PE0_send.csv":       "0,0,0,1,8\n0,0,0,1,16\n0,0,0",
+		"PE1_send.csv":       "0,1,0,0,8\n",
+		"physical.PE0.part":  "local_send,64,0,1\nnonblock_send,128,0,1\nnonblock_s",
+		"physical.PE1.part":  "local_send,32,1,0\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestReadSetLiveToleratesInProgressDir(t *testing.T) {
+	dir := writeLiveDir(t)
+
+	// The strict reader must refuse the torn logical line.
+	if _, err := ReadSet(dir); err == nil {
+		t.Fatal("ReadSet accepted a torn logical line")
+	}
+
+	s, skipped, err := ReadSetLive(dir)
+	if err != nil {
+		t.Fatalf("ReadSetLive: %v", err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (one torn logical, one torn physical)", skipped)
+	}
+	if !s.Config.Logical || len(s.Logical[0]) != 2 || len(s.Logical[1]) != 1 {
+		t.Errorf("logical records = %d/%d, want 2/1", len(s.Logical[0]), len(s.Logical[1]))
+	}
+	// Physical records come from the merged .part files.
+	if !s.Config.Physical {
+		t.Fatal("physical feature not detected from .part files")
+	}
+	if len(s.Physical[0]) != 2 || len(s.Physical[1]) != 1 {
+		t.Errorf("physical records = %d/%d, want 2/1", len(s.Physical[0]), len(s.Physical[1]))
+	}
+}
+
+func TestReadSetLiveMatchesReadSetOnFinishedDir(t *testing.T) {
+	dir := t.TempDir()
+	s := buildSet(t)
+	if err := s.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	strict, err := ReadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, skipped, err := ReadSetLive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d on a finished dir, want 0", skipped)
+	}
+	if len(live.Logical[0]) != len(strict.Logical[0]) ||
+		len(live.Overall) != len(strict.Overall) ||
+		live.Config.Logical != strict.Config.Logical ||
+		live.Config.Physical != strict.Config.Physical ||
+		live.Config.Overall != strict.Config.Overall {
+		t.Error("live read of a finished dir differs from the strict read")
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -59,6 +60,12 @@ func NewStreamingCollector(cfg Config, machine sim.Machine, dir string) (*Collec
 	}
 	c.streamDir = dir
 	c.streams = make([]*peStream, machine.NumPEs)
+	// Write the meta file eagerly: its content depends only on the
+	// configuration, and having it on disk from the start lets a viewer
+	// (actorprofd) ingest the directory while the run is still executing.
+	if err := c.set.writeMeta(dir); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -100,19 +107,33 @@ func physicalPart(pe int) string { return fmt.Sprintf("physical.PE%d.part", pe) 
 // concatenates the per-PE physical parts into physical.txt (removing
 // the parts). Finalize must be called after every PECollector's Close.
 // It is an error on non-streaming collectors.
+//
+// Every per-PE stream is closed even when some of them fail (the errors
+// are joined), so a failing Finalize never leaks file handles; on
+// failure the partial outputs of the failed step (a half-written
+// physical.txt) are removed rather than left looking like a finished
+// trace.
 func (c *Collector) Finalize() error {
 	if !c.Streaming() {
 		return fmt.Errorf("trace: Finalize on a non-streaming collector")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, s := range c.streams {
+	var closeErrs []error
+	for pe, s := range c.streams {
 		if s == nil {
 			continue
 		}
 		if err := s.flushClose(); err != nil {
-			return fmt.Errorf("trace: closing stream files: %w", err)
+			closeErrs = append(closeErrs, fmt.Errorf("trace: closing PE %d stream files: %w", pe, err))
 		}
+		c.streams[pe] = nil
+	}
+	if err := errors.Join(closeErrs...); err != nil {
+		// A stream that failed to flush has lost records; the per-PE
+		// files on disk are untrustworthy, so do not assemble the
+		// directory-level outputs over them.
+		return err
 	}
 	if err := c.set.writeMeta(c.streamDir); err != nil {
 		return err
@@ -123,36 +144,58 @@ func (c *Collector) Finalize() error {
 		}
 	}
 	if c.cfg.Physical {
-		out, err := os.Create(filepath.Join(c.streamDir, physicalFile))
+		if err := c.assemblePhysical(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assemblePhysical concatenates the per-PE physical parts into
+// physical.txt, removing the parts on success and the half-written
+// physical.txt on failure.
+func (c *Collector) assemblePhysical() (err error) {
+	outPath := filepath.Join(c.streamDir, physicalFile)
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if out != nil {
+			err = errors.Join(err, out.Close())
+		}
 		if err != nil {
-			return err
+			// Leave the .part files (they still hold the data) but never
+			// a truncated physical.txt that readers would trust.
+			os.Remove(outPath)
 		}
-		w := bufio.NewWriterSize(out, 1<<16)
-		for pe := 0; pe < c.machine.NumPEs; pe++ {
-			part := filepath.Join(c.streamDir, physicalPart(pe))
-			in, err := os.Open(part)
-			if err != nil {
-				if os.IsNotExist(err) {
-					continue
-				}
-				out.Close()
-				return err
+	}()
+	w := bufio.NewWriterSize(out, 1<<16)
+	for pe := 0; pe < c.machine.NumPEs; pe++ {
+		part := filepath.Join(c.streamDir, physicalPart(pe))
+		in, openErr := os.Open(part)
+		if openErr != nil {
+			if os.IsNotExist(openErr) {
+				continue
 			}
-			if _, err := io.Copy(w, in); err != nil {
-				in.Close()
-				out.Close()
-				return err
-			}
-			in.Close()
-			os.Remove(part)
+			return openErr
 		}
-		if err := w.Flush(); err != nil {
-			out.Close()
+		_, copyErr := io.Copy(w, in)
+		if err := errors.Join(copyErr, in.Close()); err != nil {
 			return err
 		}
-		if err := out.Close(); err != nil {
-			return err
-		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	closeErr := out.Close()
+	out = nil
+	if closeErr != nil {
+		return closeErr
+	}
+	// Only after physical.txt is durably complete do the parts go away.
+	for pe := 0; pe < c.machine.NumPEs; pe++ {
+		os.Remove(filepath.Join(c.streamDir, physicalPart(pe)))
 	}
 	return nil
 }

@@ -149,6 +149,97 @@ func TestStreamingCollectorBadDirectory(t *testing.T) {
 	}
 }
 
+func TestFinalizeClosesAllStreamsOnError(t *testing.T) {
+	// Regression: Finalize used to return on the first flushClose error,
+	// leaving every later PE's streams open (fd leak). All streams must
+	// be closed even when one of them fails.
+	dir := t.TempDir()
+	c, err := NewStreamingCollector(Config{Logical: true, Physical: true}, machine(4, 2), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 4; pe++ {
+		pc := c.ForPE(pe, nil)
+		for i := 0; i < 10; i++ {
+			pc.LogicalSend(0, (pe+1)%4, 8)
+			pc.PhysicalSend(conveyor.LocalSend, 64, pe, (pe+1)%4)
+		}
+		pc.Close()
+	}
+	// Snapshot the open files, then sabotage PE 1: closing its logical
+	// file underneath the bufio writer makes its flush fail.
+	var files []*os.File
+	for _, s := range c.streams {
+		files = append(files, s.logicalF, s.physF)
+	}
+	if err := c.streams[1].logicalF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err == nil {
+		t.Fatal("Finalize must report the PE 1 flush error")
+	}
+	for i, f := range files {
+		if err := f.Close(); err == nil {
+			t.Errorf("file %d (%s) was left open by the failing Finalize", i, f.Name())
+		}
+	}
+	// The failed Finalize must not have assembled a physical.txt over
+	// untrustworthy per-PE files.
+	if _, err := os.Stat(filepath.Join(dir, physicalFile)); !os.IsNotExist(err) {
+		t.Errorf("physical.txt written despite stream close failure (stat err: %v)", err)
+	}
+}
+
+func TestFinalizeRemovesHalfWrittenPhysical(t *testing.T) {
+	// Regression: an error while concatenating the per-PE physical parts
+	// used to strand a truncated physical.txt that readers would trust.
+	// On failure the half-written file must be removed and the .part
+	// inputs kept.
+	dir := t.TempDir()
+	c, err := NewStreamingCollector(Config{Physical: true}, machine(4, 2), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 4; pe++ {
+		pc := c.ForPE(pe, nil)
+		pc.PhysicalSend(conveyor.LocalSend, 64, pe, (pe+1)%4)
+		pc.Close()
+	}
+	// Replace PE 2's part path with a directory: the open stream handle
+	// still flushes to the unlinked file, but the concatenation's
+	// io.Copy from a directory fails mid-assembly.
+	part := filepath.Join(dir, physicalPart(2))
+	if err := os.Remove(part); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(part, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err == nil {
+		t.Fatal("Finalize must report the concatenation error")
+	}
+	if _, err := os.Stat(filepath.Join(dir, physicalFile)); !os.IsNotExist(err) {
+		t.Errorf("half-written physical.txt left behind (stat err: %v)", err)
+	}
+	for _, pe := range []int{0, 1, 3} {
+		if _, err := os.Stat(filepath.Join(dir, physicalPart(pe))); err != nil {
+			t.Errorf("part file of PE %d removed despite failed assembly: %v", pe, err)
+		}
+	}
+}
+
+func TestStreamingWritesMetaEagerly(t *testing.T) {
+	// A live viewer must be able to ingest the directory before
+	// Finalize, which requires the meta file from the start.
+	dir := t.TempDir()
+	if _, err := NewStreamingCollector(Config{Logical: true}, machine(2, 2), dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, metaFile)); err != nil {
+		t.Fatalf("meta file not written at collector creation: %v", err)
+	}
+}
+
 func TestFinalizeOnBufferingCollectorFails(t *testing.T) {
 	c, err := NewCollector(Config{Logical: true}, machine(2, 2))
 	if err != nil {

@@ -13,9 +13,29 @@ package viz
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
+
+// Plot is any renderer in this package: terminal text to a writer plus a
+// standalone SVG document.
+type Plot interface {
+	RenderText(w io.Writer) error
+	RenderSVG() (string, error)
+}
+
+// RenderSVGTo renders p's SVG document straight into w. This is the
+// write side used by callers that stream plots over a network or into a
+// cache (actorprofd) instead of holding the document as a string.
+func RenderSVGTo(p Plot, w io.Writer) error {
+	doc, err := p.RenderSVG()
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, doc)
+	return err
+}
 
 // Palette roles (light surface), from the validated reference palette.
 const (
