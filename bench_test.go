@@ -105,10 +105,12 @@ func shares(s *trace.Set) (main, comm, proc float64) {
 
 // benchLogicalHeatmap is the shared body of Figures 3 and 4: run both
 // distributions, render the heatmaps, and report the send/recv extremes.
+// The heatmap needs only the src x dst matrix, so the collector folds
+// records as they arrive (Aggregate) instead of materializing them.
 func benchLogicalHeatmap(b *testing.B, nodes int) {
 	for i := 0; i < b.N; i++ {
-		cy := runCase(b, nodes, core.DistCyclic, trace.Config{Logical: true})
-		rg := runCase(b, nodes, core.DistRange, trace.Config{Logical: true})
+		cy := runCase(b, nodes, core.DistCyclic, trace.Config{Logical: true, Aggregate: true})
+		rg := runCase(b, nodes, core.DistRange, trace.Config{Logical: true, Aggregate: true})
 		cyM, rgM := cy.Set.LogicalMatrix(), rg.Set.LogicalMatrix()
 		if _, err := core.LogicalHeatmap(cy.Set, "cyclic").RenderSVG(); err != nil {
 			b.Fatal(err)
@@ -140,8 +142,8 @@ func BenchmarkFig04LogicalHeatmap2Node(b *testing.B) { benchLogicalHeatmap(b, 2)
 func BenchmarkFig05LogicalViolin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, nodes := range []int{1, 2} {
-			cy := runCase(b, nodes, core.DistCyclic, trace.Config{Logical: true})
-			rg := runCase(b, nodes, core.DistRange, trace.Config{Logical: true})
+			cy := runCase(b, nodes, core.DistCyclic, trace.Config{Logical: true, Aggregate: true})
+			rg := runCase(b, nodes, core.DistRange, trace.Config{Logical: true, Aggregate: true})
 			if _, err := core.LogicalViolin(cy.Set, "cyclic").RenderSVG(); err != nil {
 				b.Fatal(err)
 			}

@@ -55,6 +55,7 @@ func run(args []string) error {
 		svgDir      = fs.String("svg", "", "directory to also write SVG files into")
 		eventName   = fs.String("event", "PAPI_TOT_INS", "PAPI event for -lp")
 		traceEvents = fs.String("trace-events", "", "write the physical trace as Google Trace Event JSON to this file")
+		workers     = fs.Int("workers", 0, "parallel trace-parse workers (0 = GOMAXPROCS)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: actorprof [-l] [-lp] [-s] [-p] [-violin] [-svg dir] <trace-dir>")
@@ -69,7 +70,10 @@ func run(args []string) error {
 	}
 	dir := fs.Arg(0)
 
-	set, err := trace.ReadSet(dir)
+	// Every standard plot consumes only aggregate matrices, so the trace
+	// is folded into an O(PEs^2) Summary while it streams off disk; the
+	// per-record slices are materialized only for -trace-events below.
+	set, _, err := trace.ReadSummary(dir, trace.ReadOptions{Workers: *workers})
 	if err != nil {
 		return fmt.Errorf("reading trace directory %s: %w", dir, err)
 	}
@@ -260,11 +264,17 @@ func run(args []string) error {
 		}
 	}
 	if *traceEvents != "" {
+		// The chrome://tracing export walks individual physical records:
+		// the one path that still needs the fully materialized Set.
+		full, _, err := trace.ReadSetOptions(dir, trace.ReadOptions{Workers: *workers})
+		if err != nil {
+			return fmt.Errorf("reading trace directory %s: %w", dir, err)
+		}
 		f, err := os.Create(*traceEvents)
 		if err != nil {
 			return err
 		}
-		if err := set.ExportTraceEvents(f); err != nil {
+		if err := full.ExportTraceEvents(f); err != nil {
 			f.Close()
 			return err
 		}

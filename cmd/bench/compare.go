@@ -14,6 +14,17 @@ var hotPath = map[string]bool{
 	"BenchmarkPushPullLocal":   true,
 	"BenchmarkHandlerDispatch": true,
 	"BenchmarkCodecRoundTrip":  true,
+	// Trace-pipeline I/O: the parallel sharded reader/writer in both
+	// on-disk formats, plus the per-line parse/append helpers whose
+	// zero-allocation contract the allocs/op check enforces.
+	"BenchmarkReadSet/format=csv":        true,
+	"BenchmarkReadSet/format=binary":     true,
+	"BenchmarkWriteFiles/format=csv":     true,
+	"BenchmarkWriteFiles/format=binary":  true,
+	"BenchmarkReadSummary/format=csv":    true,
+	"BenchmarkReadSummary/format=binary": true,
+	"BenchmarkParseLogicalLine":          true,
+	"BenchmarkAppendLogicalLine":         true,
 }
 
 // compare checks current against baseline: for hot-path benchmarks a

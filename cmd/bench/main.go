@@ -34,18 +34,22 @@ var suites = map[string]struct {
 	bench string
 }{
 	"hot": {
-		pkgs: []string{"./internal/conveyor", "./internal/actor"},
+		pkgs: []string{"./internal/conveyor", "./internal/actor", "./internal/trace"},
 		bench: "^(BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
-			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced)$",
+			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
+			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
+			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine)$",
 	},
 	"figures": {
 		pkgs:  []string{"."},
 		bench: "^BenchmarkFig",
 	},
 	"all": {
-		pkgs: []string{".", "./internal/conveyor", "./internal/actor"},
+		pkgs: []string{".", "./internal/conveyor", "./internal/actor", "./internal/trace"},
 		bench: "^(BenchmarkFig.*|BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
-			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced)$",
+			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
+			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
+			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine)$",
 	},
 }
 

@@ -17,6 +17,7 @@
 //	-dist NAME    cyclic | range | block (default cyclic)
 //	-buf N        conveyor buffer items (default 64)
 //	-out DIR      trace output directory (default actorprof_trace)
+//	-format F     trace file format: csv | binary | both (default csv)
 package main
 
 import (
@@ -48,15 +49,23 @@ func run(args []string) error {
 		dist    = fs.String("dist", "cyclic", "row distribution: cyclic | range | block")
 		buf     = fs.Int("buf", 64, "conveyor aggregation buffer (items)")
 		out     = fs.String("out", "actorprof_trace", "trace output directory")
+		format  = fs.String("format", "csv", "trace file format: csv | binary | both")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	tf, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	cfg := core.FullTrace()
+	cfg.Format = tf
 	exp := core.TriangleExperiment{
 		Scale: *scale, EdgeFactor: *ef, Seed: *seed,
 		NumPEs: *pes, PEsPerNode: *perNode,
 		Dist:        core.DistKind(*dist),
+		Trace:       cfg,
 		BufferItems: *buf,
 	}
 	fmt.Printf("triangle counting: scale=%d ef=%d seed=%d, %d PEs on %d node(s), %s\n",

@@ -101,9 +101,15 @@ func Run(opts Options, app App) (*trace.Set, error) {
 	return coll.Set(), nil
 }
 
+// The plot constructors below accept any trace.Source - a fully
+// materialized *trace.Set or the O(PEs^2) *trace.Summary produced by
+// trace.ReadSummary / (*trace.Set).Summary() - since every standard
+// plot consumes only matrices, per-PE totals, and the overall
+// breakdown, never individual records.
+
 // LogicalHeatmap builds the Figure 3/4 plot (-l): pre-aggregation send
 // counts between every PE pair, with send/recv totals.
-func LogicalHeatmap(set *trace.Set, title string) *viz.Heatmap {
+func LogicalHeatmap(set trace.Source, title string) *viz.Heatmap {
 	return &viz.Heatmap{
 		Title:  title,
 		Cells:  set.LogicalMatrix(),
@@ -113,7 +119,7 @@ func LogicalHeatmap(set *trace.Set, title string) *viz.Heatmap {
 
 // PhysicalHeatmap builds the Figure 8/9 plot (-p): post-aggregation
 // buffer counts between every PE pair.
-func PhysicalHeatmap(set *trace.Set, title string) *viz.Heatmap {
+func PhysicalHeatmap(set trace.Source, title string) *viz.Heatmap {
 	return &viz.Heatmap{
 		Title:  title,
 		Cells:  set.PhysicalMatrix(),
@@ -123,7 +129,7 @@ func PhysicalHeatmap(set *trace.Set, title string) *viz.Heatmap {
 
 // LogicalViolin builds the Figure 5 plot: quartile violins over per-PE
 // total logical sends and recvs.
-func LogicalViolin(set *trace.Set, title string) *viz.Violin {
+func LogicalViolin(set trace.Source, title string) *viz.Violin {
 	m := set.LogicalMatrix()
 	return &viz.Violin{
 		Title:  title,
@@ -137,7 +143,7 @@ func LogicalViolin(set *trace.Set, title string) *viz.Violin {
 
 // PhysicalViolin builds the Figure 7 plot: quartile violins over per-PE
 // total physical buffers sent and received.
-func PhysicalViolin(set *trace.Set, title string) *viz.Violin {
+func PhysicalViolin(set trace.Source, title string) *viz.Violin {
 	m := set.PhysicalMatrix()
 	return &viz.Violin{
 		Title:  title,
@@ -151,7 +157,7 @@ func PhysicalViolin(set *trace.Set, title string) *viz.Violin {
 
 // PAPIBar builds the Figure 10/11 plot (-lp): one bar per PE with the
 // event's total across the PE's PAPI records.
-func PAPIBar(set *trace.Set, ev papi.Event, title string) *viz.Bar {
+func PAPIBar(set trace.Source, ev papi.Event, title string) *viz.Bar {
 	vals := set.PAPITotalsPerPE(ev)
 	labels := make([]string, len(vals))
 	for i := range labels {
@@ -167,13 +173,15 @@ func PAPIBar(set *trace.Set, ev papi.Event, title string) *viz.Bar {
 
 // PAPIGroupedBar builds the full -lp plot: every configured PAPI
 // counter (up to four, PAPI's limit) per PE in one grouped bar graph.
-func PAPIGroupedBar(set *trace.Set, title string) *viz.GroupedBar {
-	labels := make([]string, set.NumPEs)
+func PAPIGroupedBar(set trace.Source, title string) *viz.GroupedBar {
+	npes, _ := set.Shape()
+	labels := make([]string, npes)
 	for i := range labels {
 		labels[i] = fmt.Sprintf("%d", i)
 	}
-	series := make([]viz.Series, 0, len(set.Config.PAPIEvents))
-	for _, ev := range set.Config.PAPIEvents {
+	events := set.TraceConfig().PAPIEvents
+	series := make([]viz.Series, 0, len(events))
+	for _, ev := range events {
 		series = append(series, viz.Series{
 			Name:   ev.String(),
 			Values: set.PAPITotalsPerPE(ev),
@@ -191,10 +199,11 @@ func PAPIGroupedBar(set *trace.Set, title string) *viz.GroupedBar {
 // NodeHeatmap builds the node-level hotspot heatmap: the physical
 // matrix aggregated over nodes, exposing which node pairs carry the
 // network load.
-func NodeHeatmap(set *trace.Set, title string) *viz.Heatmap {
+func NodeHeatmap(set trace.Source, title string) *viz.Heatmap {
+	_, perNode := set.Shape()
 	return &viz.Heatmap{
 		Title:    title,
-		Cells:    set.PhysicalMatrix().AggregateNodes(set.PEsPerNode),
+		Cells:    set.PhysicalMatrix().AggregateNodes(perNode),
 		RowLabel: "src node",
 		ColLabel: "dst node",
 		Totals:   true,
@@ -203,12 +212,12 @@ func NodeHeatmap(set *trace.Set, title string) *viz.Heatmap {
 
 // OverallStacked builds the Figure 12/13 plot (-s): per-PE stacked
 // MAIN/COMM/PROC cycles, absolute or relative.
-func OverallStacked(set *trace.Set, relative bool, title string) *viz.StackedBar {
-	n := set.NumPEs
+func OverallStacked(set trace.Source, relative bool, title string) *viz.StackedBar {
+	n, _ := set.Shape()
 	main := make([]int64, n)
 	comm := make([]int64, n)
 	proc := make([]int64, n)
-	for _, r := range set.Overall {
+	for _, r := range set.OverallRecords() {
 		if r.PE < 0 || r.PE >= n {
 			continue
 		}

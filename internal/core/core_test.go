@@ -419,6 +419,77 @@ func frac(part, total int64) float64 {
 	return float64(part) / float64(total)
 }
 
+// TestPlotsIdenticalAcrossFormats pins the binary-format acceptance
+// criterion: the same trace written as CSV and as binary columnar files
+// must render byte-identical plots - whether loaded as a full Set or
+// folded into a Summary by the streaming aggregation path.
+func TestPlotsIdenticalAcrossFormats(t *testing.T) {
+	rep := caseStudy(t, 16, 16, DistCyclic)
+	csvDir, binDir := t.TempDir(), t.TempDir()
+	rep.Set.Config.Format = trace.FormatCSV
+	if err := rep.Set.WriteFiles(csvDir); err != nil {
+		t.Fatal(err)
+	}
+	rep.Set.Config.Format = trace.FormatBinary
+	if err := rep.Set.WriteFiles(binDir); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(s trace.Source) map[string]string {
+		out := map[string]string{}
+		add := func(name, svg string, err error) {
+			if err != nil {
+				t.Fatalf("rendering %s: %v", name, err)
+			}
+			out[name] = svg
+		}
+		svg, err := LogicalHeatmap(s, "t").RenderSVG()
+		add("logical-heatmap", svg, err)
+		svg, err = PhysicalHeatmap(s, "t").RenderSVG()
+		add("physical-heatmap", svg, err)
+		svg, err = LogicalViolin(s, "t").RenderSVG()
+		add("logical-violin", svg, err)
+		svg, err = PhysicalViolin(s, "t").RenderSVG()
+		add("physical-violin", svg, err)
+		svg, err = PAPIBar(s, papi.TOT_INS, "t").RenderSVG()
+		add("papi-bar", svg, err)
+		svg, err = PAPIGroupedBar(s, "t").RenderSVG()
+		add("papi-grouped", svg, err)
+		svg, err = NodeHeatmap(s, "t").RenderSVG()
+		add("node-heatmap", svg, err)
+		svg, err = OverallStacked(s, true, "t").RenderSVG()
+		add("overall-stacked", svg, err)
+		return out
+	}
+
+	fromCSV, err := trace.ReadSet(csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(fromCSV)
+
+	fromBin, err := trace.ReadSet(binDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, svg := range render(fromBin) {
+		if svg != want[name] {
+			t.Errorf("%s differs between CSV and binary traces", name)
+		}
+	}
+	for label, dir := range map[string]string{"csv": csvDir, "binary": binDir} {
+		sum, skipped, err := trace.ReadSummary(dir, trace.ReadOptions{})
+		if err != nil || skipped != 0 {
+			t.Fatalf("%s summary: skipped=%d err=%v", label, skipped, err)
+		}
+		for name, svg := range render(sum) {
+			if svg != want[name] {
+				t.Errorf("%s differs between full Set and streamed %s Summary", name, label)
+			}
+		}
+	}
+}
+
 func TestRunStreamDirWritesAndFinalizesTrace(t *testing.T) {
 	dir := t.TempDir()
 	set, err := Run(Options{

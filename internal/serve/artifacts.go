@@ -28,34 +28,34 @@ func noData(format string, args ...any) error {
 // trace's features, an SVG renderer, and a JSON payload builder. The
 // param is the request's ?event= value (used by the PAPI plots).
 type artifact struct {
-	check func(s *trace.Set) error
-	plot  func(s *trace.Set, param string) (viz.Plot, error)
-	json  func(s *trace.Set, param string) (any, error)
+	check func(s trace.Source) error
+	plot  func(s trace.Source, param string) (viz.Plot, error)
+	json  func(s trace.Source, param string) (any, error)
 }
 
-func needLogical(s *trace.Set) error {
-	if !s.Config.Logical {
+func needLogical(s trace.Source) error {
+	if !s.TraceConfig().Logical {
 		return noData("run has no logical trace (PEi_send.csv)")
 	}
 	return nil
 }
 
-func needPhysical(s *trace.Set) error {
-	if !s.Config.Physical {
+func needPhysical(s trace.Source) error {
+	if !s.TraceConfig().Physical {
 		return noData("run has no physical trace (physical.txt)")
 	}
 	return nil
 }
 
-func needOverall(s *trace.Set) error {
-	if !s.Config.Overall {
+func needOverall(s trace.Source) error {
+	if !s.TraceConfig().Overall {
 		return noData("run has no overall breakdown (overall.txt)")
 	}
 	return nil
 }
 
-func needPAPI(s *trace.Set) error {
-	if len(s.Config.PAPIEvents) == 0 {
+func needPAPI(s trace.Source) error {
+	if len(s.TraceConfig().PAPIEvents) == 0 {
 		return noData("run has no PAPI events (PEi_PAPI.csv)")
 	}
 	return nil
@@ -66,68 +66,69 @@ func needPAPI(s *trace.Set) error {
 var artifacts = map[string]artifact{
 	"logical-heatmap": {
 		check: needLogical,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.LogicalHeatmap(s, "Logical Trace (pre-aggregation sends)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			return heatmapJSON("Logical Trace (pre-aggregation sends)", "src PE", "dst PE", s.LogicalMatrix()), nil
 		},
 	},
 	"physical-heatmap": {
 		check: needPhysical,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.PhysicalHeatmap(s, "Physical Trace (post-aggregation buffers)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			return heatmapJSON("Physical Trace (post-aggregation buffers)", "src PE", "dst PE", s.PhysicalMatrix()), nil
 		},
 	},
 	"node-heatmap": {
-		check: func(s *trace.Set) error {
+		check: func(s trace.Source) error {
 			if err := needPhysical(s); err != nil {
 				return err
 			}
-			if s.NumPEs <= s.PEsPerNode {
+			if npes, perNode := s.Shape(); npes <= perNode {
 				return noData("run fits on one node; no node-level hotspots to plot")
 			}
 			return nil
 		},
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.NodeHeatmap(s, "Node-level network hotspots"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
-			m := s.PhysicalMatrix().AggregateNodes(s.PEsPerNode)
+		json: func(s trace.Source, _ string) (any, error) {
+			_, perNode := s.Shape()
+			m := s.PhysicalMatrix().AggregateNodes(perNode)
 			return heatmapJSON("Node-level network hotspots", "src node", "dst node", m), nil
 		},
 	},
 	"logical-violin": {
 		check: needLogical,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.LogicalViolin(s, "Logical sends/recvs per PE (quartiles)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			return violinJSON(core.LogicalViolin(s, "Logical sends/recvs per PE (quartiles)")), nil
 		},
 	},
 	"physical-violin": {
 		check: needPhysical,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.PhysicalViolin(s, "Physical buffers per PE (quartiles)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			return violinJSON(core.PhysicalViolin(s, "Physical buffers per PE (quartiles)")), nil
 		},
 	},
 	"papi-bar": {
 		check: needPAPI,
-		plot: func(s *trace.Set, param string) (viz.Plot, error) {
+		plot: func(s trace.Source, param string) (viz.Plot, error) {
 			ev, err := papiEvent(s, param)
 			if err != nil {
 				return nil, err
 			}
 			return core.PAPIBar(s, ev, fmt.Sprintf("%s per PE (user regions)", ev)), nil
 		},
-		json: func(s *trace.Set, param string) (any, error) {
+		json: func(s trace.Source, param string) (any, error) {
 			ev, err := papiEvent(s, param)
 			if err != nil {
 				return nil, err
@@ -135,23 +136,23 @@ var artifacts = map[string]artifact{
 			return barPayload{
 				Title:  fmt.Sprintf("%s per PE (user regions)", ev),
 				YLabel: ev.String(),
-				Labels: peLabels(s.NumPEs),
+				Labels: peLabels(numPEs(s)),
 				Values: s.PAPITotalsPerPE(ev),
 			}, nil
 		},
 	},
 	"papi-grouped": {
 		check: needPAPI,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.PAPIGroupedBar(s, "All PAPI counters per PE (one run)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			p := stackedPayload{
 				Title:  "All PAPI counters per PE (one run)",
 				YLabel: "counter totals",
-				Labels: peLabels(s.NumPEs),
+				Labels: peLabels(numPEs(s)),
 			}
-			for _, ev := range s.Config.PAPIEvents {
+			for _, ev := range s.TraceConfig().PAPIEvents {
 				p.Series = append(p.Series, seriesPayload{Name: ev.String(), Values: s.PAPITotalsPerPE(ev)})
 			}
 			return p, nil
@@ -159,19 +160,19 @@ var artifacts = map[string]artifact{
 	},
 	"overall-absolute": {
 		check: needOverall,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.OverallStacked(s, false, "Overall breakdown (absolute cycles)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			return overallPayload(s, false), nil
 		},
 	},
 	"overall-relative": {
 		check: needOverall,
-		plot: func(s *trace.Set, _ string) (viz.Plot, error) {
+		plot: func(s trace.Source, _ string) (viz.Plot, error) {
 			return core.OverallStacked(s, true, "Overall breakdown (relative)"), nil
 		},
-		json: func(s *trace.Set, _ string) (any, error) {
+		json: func(s trace.Source, _ string) (any, error) {
 			return overallPayload(s, true), nil
 		},
 	},
@@ -189,21 +190,22 @@ func artifactNames() []string {
 
 // papiEvent resolves the ?event= parameter (default: the run's first
 // configured event).
-func papiEvent(s *trace.Set, param string) (papi.Event, error) {
+func papiEvent(s trace.Source, param string) (papi.Event, error) {
+	events := s.TraceConfig().PAPIEvents
 	if param == "" {
-		return s.Config.PAPIEvents[0], nil
+		return events[0], nil
 	}
 	ev, err := papi.EventByName(param)
 	if err != nil {
 		return 0, statusError{code: 400, msg: err.Error()}
 	}
-	for _, have := range s.Config.PAPIEvents {
+	for _, have := range events {
 		if have == ev {
 			return ev, nil
 		}
 	}
-	names := make([]string, len(s.Config.PAPIEvents))
-	for i, have := range s.Config.PAPIEvents {
+	names := make([]string, len(events))
+	for i, have := range events {
 		names[i] = have.String()
 	}
 	return 0, statusError{code: 404, msg: fmt.Sprintf("run did not record %s (recorded: %s)",
@@ -277,7 +279,7 @@ type stackedPayload struct {
 	Series   []seriesPayload `json:"series"`
 }
 
-func overallPayload(s *trace.Set, relative bool) stackedPayload {
+func overallPayload(s trace.Source, relative bool) stackedPayload {
 	sb := core.OverallStacked(s, relative, "Overall breakdown")
 	if relative {
 		sb.Title = "Overall breakdown (relative)"
@@ -294,6 +296,11 @@ func overallPayload(s *trace.Set, relative bool) stackedPayload {
 		p.Series = append(p.Series, seriesPayload{Name: ser.Name, Values: ser.Values})
 	}
 	return p
+}
+
+func numPEs(s trace.Source) int {
+	n, _ := s.Shape()
+	return n
 }
 
 func peLabels(n int) []string {

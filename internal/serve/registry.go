@@ -42,7 +42,8 @@ type registry struct {
 type runEntry struct {
 	mu      sync.Mutex // serializes parsing of this one run
 	fp      string
-	set     *trace.Set
+	sum     *trace.Summary
+	set     *trace.Set // full records; parsed lazily for trace-events only
 	skipped int
 	live    bool
 }
@@ -124,32 +125,67 @@ func fingerprint(dir string) (fp string, live bool, err error) {
 	return b.String(), live, nil
 }
 
-// load returns the parsed Set for a run, along with its fingerprint (the
-// cache-key component) and its RunInfo. It re-parses only when the
-// directory changed since the last parse, and bounds how many parses run
-// at once across all runs.
-func (r *registry) load(id string) (*trace.Set, string, RunInfo, error) {
+// entry resolves a run ID to its directory, current fingerprint, and
+// cache slot.
+func (r *registry) entry(id string) (dir, fp string, live bool, e *runEntry, err error) {
 	dirs, err := r.scan()
 	if err != nil {
-		return nil, "", RunInfo{}, err
+		return "", "", false, nil, err
 	}
 	dir, ok := dirs[id]
 	if !ok {
-		return nil, "", RunInfo{}, statusError{code: 404, msg: fmt.Sprintf("unknown run %q", id)}
+		return "", "", false, nil, statusError{code: 404, msg: fmt.Sprintf("unknown run %q", id)}
 	}
-	fp, live, err := fingerprint(dir)
+	fp, live, err = fingerprint(dir)
 	if err != nil {
-		return nil, "", RunInfo{}, err
+		return "", "", false, nil, err
 	}
-
 	r.mu.Lock()
-	e := r.runs[id]
+	e = r.runs[id]
 	if e == nil {
 		e = &runEntry{}
 		r.runs[id] = e
 	}
 	r.mu.Unlock()
+	return dir, fp, live, e, nil
+}
 
+// load returns the run's streamed Summary (the O(PEs^2) aggregate every
+// standard plot consumes; per-record slices are never materialized),
+// along with its fingerprint (the cache-key component) and its RunInfo.
+// It re-parses only when the directory changed since the last parse, and
+// bounds how many parses run at once across all runs.
+func (r *registry) load(id string) (*trace.Summary, string, RunInfo, error) {
+	dir, fp, live, e, err := r.entry(id)
+	if err != nil {
+		return nil, "", RunInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sum == nil || e.fp != fp {
+		r.parseSem <- struct{}{}
+		start := time.Now()
+		sum, skipped, err := trace.ReadSummary(dir, trace.ReadOptions{Tolerant: true})
+		r.metrics.observeParse(time.Since(start), skipped)
+		<-r.parseSem
+		if err != nil {
+			return nil, "", RunInfo{}, fmt.Errorf("serve: parsing run %q: %w", id, err)
+		}
+		e.sum, e.fp, e.skipped, e.live = sum, fp, skipped, live
+		e.set = nil // records from the previous fingerprint are stale
+	}
+	return e.sum, e.fp, r.infoLocked(id, dir, e), nil
+}
+
+// loadSet returns the run's fully materialized Set - needed only by the
+// trace-events export, which walks individual physical records. The Set
+// is parsed lazily and cached next to the Summary under the same
+// fingerprint.
+func (r *registry) loadSet(id string) (*trace.Set, string, error) {
+	dir, fp, live, e, err := r.entry(id)
+	if err != nil {
+		return nil, "", err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.set == nil || e.fp != fp {
@@ -159,11 +195,11 @@ func (r *registry) load(id string) (*trace.Set, string, RunInfo, error) {
 		r.metrics.observeParse(time.Since(start), skipped)
 		<-r.parseSem
 		if err != nil {
-			return nil, "", RunInfo{}, fmt.Errorf("serve: parsing run %q: %w", id, err)
+			return nil, "", fmt.Errorf("serve: parsing run %q: %w", id, err)
 		}
-		e.set, e.fp, e.skipped, e.live = set, fp, skipped, live
+		e.set, e.sum, e.fp, e.skipped, e.live = set, set.Summary(), fp, skipped, live
 	}
-	return e.set, e.fp, r.infoLocked(id, dir, e), nil
+	return e.set, e.fp, nil
 }
 
 // list scans the root and returns every run's info, parsing as needed.
@@ -196,12 +232,12 @@ func (r *registry) infoLocked(id, dir string, e *runEntry) RunInfo {
 	info := RunInfo{
 		ID:         id,
 		Dir:        dir,
-		NumPEs:     e.set.NumPEs,
-		PEsPerNode: e.set.PEsPerNode,
+		NumPEs:     e.sum.NumPEs,
+		PEsPerNode: e.sum.PEsPerNode,
 		Live:       e.live,
 		Skipped:    e.skipped,
 	}
-	cfg := e.set.Config
+	cfg := e.sum.Config
 	if cfg.Logical {
 		info.Features = append(info.Features, "logical")
 	}

@@ -224,10 +224,12 @@ func splitPlotName(name string) (kind, format string, ok bool) {
 }
 
 // handleTraceEvents serves the physical trace as Google Trace Event JSON
-// (loadable in chrome://tracing / Perfetto), cached like any plot.
+// (loadable in chrome://tracing / Perfetto), cached like any plot. This
+// is the one endpoint that walks individual records, so it is the one
+// place the full Set is materialized (lazily, via loadSet).
 func (s *Server) handleTraceEvents(w http.ResponseWriter, r *http.Request) {
 	runID := r.PathValue("run")
-	set, fp, _, err := s.reg.load(runID)
+	set, fp, err := s.reg.loadSet(runID)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -273,7 +275,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			b.WriteString("<li><em>live: run still streaming</em></li>\n")
 		}
 		for _, kind := range artifactNames() {
-			if artifacts[kind].check(setStub(info)) != nil {
+			if artifacts[kind].check(sourceStub(info)) != nil {
 				continue
 			}
 			fmt.Fprintf(&b, `<li><a href="/runs/%s/plots/%s.svg">%s.svg</a> | <a href="/runs/%s/plots/%s.json">json</a></li>`+"\n",
@@ -289,10 +291,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, b.String())
 }
 
-// setStub rebuilds just enough of a Set from a RunInfo for the artifact
-// availability checks (which only consult Config and the PE counts).
-func setStub(info RunInfo) *trace.Set {
-	s := &trace.Set{NumPEs: info.NumPEs, PEsPerNode: info.PEsPerNode}
+// sourceStub rebuilds just enough of a trace source from a RunInfo for
+// the artifact availability checks (which only consult the config and
+// the PE counts).
+func sourceStub(info RunInfo) trace.Source {
+	s := &trace.Summary{NumPEs: info.NumPEs, PEsPerNode: info.PEsPerNode}
 	for _, f := range info.Features {
 		switch f {
 		case "logical":

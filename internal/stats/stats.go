@@ -170,6 +170,58 @@ func EstimateDensity(vals []float64, bins int) Density {
 	return d
 }
 
+// Stream accumulates count/sum/min/max of int64 observations in O(1)
+// memory: the streaming-aggregation counterpart of SummarizeInts for
+// scans that never materialize the value slice. All state is exact
+// integer arithmetic, so Merge is commutative and associative - partial
+// accumulators folded by parallel trace shards in any order produce the
+// same result as a sequential scan.
+type Stream struct {
+	Count int64
+	Sum   int64
+	MinV  int64 // valid only when Count > 0
+	MaxV  int64 // valid only when Count > 0
+}
+
+// Observe folds one value into the accumulator.
+func (s *Stream) Observe(v int64) {
+	if s.Count == 0 || v < s.MinV {
+		s.MinV = v
+	}
+	if s.Count == 0 || v > s.MaxV {
+		s.MaxV = v
+	}
+	s.Count++
+	s.Sum += v
+}
+
+// Merge folds another accumulator into s.
+func (s *Stream) Merge(o Stream) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = o
+		return
+	}
+	if o.MinV < s.MinV {
+		s.MinV = o.MinV
+	}
+	if o.MaxV > s.MaxV {
+		s.MaxV = o.MaxV
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Mean returns the arithmetic mean (0 for an empty accumulator).
+func (s Stream) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
 // Histogram bins vals into n equal-width buckets over [lo, hi] and
 // returns the counts. Values outside the range clamp to the end bins.
 func Histogram(vals []float64, lo, hi float64, n int) []int {

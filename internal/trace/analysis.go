@@ -84,12 +84,22 @@ func (m Matrix) AggregateNodes(perNode int) Matrix {
 }
 
 // LogicalMatrix builds the pre-aggregation send-count matrix from the
-// logical trace, scaling sampled traces back to true counts.
+// logical trace, scaling sampled traces back to true counts. In
+// aggregate mode the counts were folded at collection time and only the
+// scaling remains.
 func (s *Set) LogicalMatrix() Matrix {
 	m := NewMatrix(s.NumPEs)
 	scale := int64(s.Config.LogicalSample)
 	if scale <= 0 {
 		scale = 1
+	}
+	if s.Config.Aggregate {
+		for i, row := range s.LogicalAgg {
+			for j, v := range row {
+				m[i][j] = v * scale
+			}
+		}
+		return m
 	}
 	for _, recs := range s.Logical {
 		for _, r := range recs {
@@ -105,6 +115,16 @@ func (s *Set) LogicalMatrix() Matrix {
 // nonblock_send and would double-count it.
 func (s *Set) PhysicalMatrix() Matrix {
 	m := NewMatrix(s.NumPEs)
+	if s.Config.Aggregate {
+		for _, kind := range []conveyor.SendKind{conveyor.LocalSend, conveyor.NonblockSend} {
+			for i, row := range s.PhysicalAgg[kind] {
+				for j, v := range row {
+					m[i][j] += v
+				}
+			}
+		}
+		return m
+	}
 	for _, recs := range s.Physical {
 		for _, r := range recs {
 			if r.Kind == conveyor.LocalSend || r.Kind == conveyor.NonblockSend {
@@ -120,6 +140,12 @@ func (s *Set) PhysicalMatrix() Matrix {
 // nonblock_send).
 func (s *Set) PhysicalMatrixOf(kind conveyor.SendKind) Matrix {
 	m := NewMatrix(s.NumPEs)
+	if s.Config.Aggregate {
+		for i, row := range s.PhysicalAgg[kind] {
+			copy(m[i], row)
+		}
+		return m
+	}
 	for _, recs := range s.Physical {
 		for _, r := range recs {
 			if r.Kind == kind {
@@ -133,6 +159,14 @@ func (s *Set) PhysicalMatrixOf(kind conveyor.SendKind) Matrix {
 // PhysicalKindCounts returns the number of physical events per send kind.
 func (s *Set) PhysicalKindCounts() map[conveyor.SendKind]int64 {
 	out := map[conveyor.SendKind]int64{}
+	if s.Config.Aggregate {
+		for kind, m := range s.PhysicalAgg {
+			if t := m.Total(); t > 0 {
+				out[kind] = t
+			}
+		}
+		return out
+	}
 	for _, recs := range s.Physical {
 		for _, r := range recs {
 			out[r.Kind]++
@@ -154,6 +188,12 @@ func (s *Set) PAPITotalsPerPE(ev papi.Event) []int64 {
 	}
 	out := make([]int64, s.NumPEs)
 	if idx < 0 {
+		return out
+	}
+	if s.Config.Aggregate {
+		if idx < len(s.PAPIAgg) {
+			copy(out, s.PAPIAgg[idx])
+		}
 		return out
 	}
 	for pe, recs := range s.PAPI {

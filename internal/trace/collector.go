@@ -8,6 +8,7 @@ import (
 	"actorprof/internal/conveyor"
 	"actorprof/internal/papi"
 	"actorprof/internal/sim"
+	"actorprof/internal/stats"
 )
 
 // Collector gathers trace data for one run across all PEs. Create one
@@ -61,6 +62,7 @@ func (c *Collector) ForPE(pe int, engine *papi.Engine) *PECollector {
 		machine: c.machine,
 		engine:  engine,
 	}
+	pc.aggregate = c.cfg.Aggregate
 	if c.Streaming() {
 		s, err := c.openStreams(pe)
 		if err != nil {
@@ -101,6 +103,19 @@ type PECollector struct {
 
 	// stream, when non-nil, receives records directly (streaming mode).
 	stream *peStream
+
+	// Aggregate-mode state (Config.Aggregate): records fold into these
+	// per-PE accumulators instead of the slices below, and Close merges
+	// them into the Set's matrices. aggLogical and aggPhys[kind] are
+	// dst-indexed rows for sends initiated by this PE; aggPhysMisc
+	// catches the rare event attributed to another PE (or an unknown
+	// send kind), folded individually at Close.
+	aggregate   bool
+	aggLogical  []int64
+	aggPhys     [3][]int64
+	aggPhysMisc []PhysicalRecord
+	aggPAPI     []int64
+	msg         stats.Stream
 
 	logical      []LogicalRecord
 	logicalCount int64
@@ -184,7 +199,14 @@ func (p *PECollector) LogicalSend(mailbox, dst, msgSize int) {
 		}
 		if p.stream != nil {
 			p.streamLogical(rec)
-		} else {
+		}
+		if p.aggregate {
+			if p.aggLogical == nil {
+				p.aggLogical = make([]int64, p.machine.NumPEs)
+			}
+			p.aggLogical[dst]++
+			p.msg.Observe(int64(msgSize))
+		} else if p.stream == nil {
 			p.logical = append(p.logical, rec)
 		}
 	}
@@ -221,12 +243,29 @@ func (p *PECollector) flushPAPI() {
 		NumSends:  p.pendingSends,
 		Counters:  counters,
 	}
+	p.recordPAPI(rec)
+	p.pendingSends = 0
+}
+
+// recordPAPI routes a finished PAPI record to the enabled sinks: the
+// stream (streaming mode), the per-event aggregate totals (aggregate
+// mode), or the in-memory slice.
+func (p *PECollector) recordPAPI(rec PAPIRecord) {
 	if p.stream != nil {
 		p.streamPAPI(rec)
-	} else {
+	}
+	if p.aggregate {
+		if p.aggPAPI == nil {
+			p.aggPAPI = make([]int64, len(p.parent.cfg.PAPIEvents))
+		}
+		for i, v := range rec.Counters {
+			if i < len(p.aggPAPI) {
+				p.aggPAPI[i] += v
+			}
+		}
+	} else if p.stream == nil {
 		p.papiRecs = append(p.papiRecs, rec)
 	}
-	p.pendingSends = 0
 }
 
 // PhysicalSend records one Conveyors transfer event; wire it to
@@ -246,9 +285,24 @@ func (p *PECollector) PhysicalSendAt(kind conveyor.SendKind, bufBytes, src, dst 
 	}
 	if p.stream != nil {
 		p.streamPhysical(rec)
+	}
+	if p.aggregate {
+		if k := int(kind); src == p.pe && k >= 0 && k < len(p.aggPhys) &&
+			dst >= 0 && dst < p.machine.NumPEs {
+			row := p.aggPhys[k]
+			if row == nil {
+				row = make([]int64, p.machine.NumPEs)
+				p.aggPhys[k] = row
+			}
+			row[dst]++
+		} else {
+			p.aggPhysMisc = append(p.aggPhysMisc, rec)
+		}
 		return
 	}
-	p.physical = append(p.physical, rec)
+	if p.stream == nil {
+		p.physical = append(p.physical, rec)
+	}
 }
 
 // OverallBreakdown records the PE's cycle breakdown; T_COMM is derived as
@@ -288,22 +342,52 @@ func (p *PECollector) Close() {
 			}
 		}
 		if residual {
-			rec := PAPIRecord{
+			p.recordPAPI(PAPIRecord{
 				SrcNode: p.node, SrcPE: p.pe,
 				DstNode: p.node, DstPE: p.pe,
 				PktSize: 0, MailboxID: -1, NumSends: 0,
 				Counters: counters,
-			}
-			if p.stream != nil {
-				p.streamPAPI(rec)
-			} else {
-				p.papiRecs = append(p.papiRecs, rec)
-			}
+			})
 		}
 	}
 	c := p.parent
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if p.aggregate {
+		if p.aggLogical != nil {
+			if c.set.LogicalAgg == nil {
+				c.set.LogicalAgg = NewMatrix(c.machine.NumPEs)
+			}
+			row := c.set.LogicalAgg[p.pe]
+			for d, v := range p.aggLogical {
+				row[d] += v
+			}
+		}
+		c.set.MsgBytes.Merge(p.msg)
+		for k, counts := range p.aggPhys {
+			if counts == nil {
+				continue
+			}
+			row := c.physAggMatrix(conveyor.SendKind(k))[p.pe]
+			for d, v := range counts {
+				row[d] += v
+			}
+		}
+		for _, r := range p.aggPhysMisc {
+			c.physAggMatrix(r.Kind)[r.SrcPE][r.DstPE]++
+		}
+		if p.aggPAPI != nil {
+			if c.set.PAPIAgg == nil {
+				c.set.PAPIAgg = make([][]int64, len(c.cfg.PAPIEvents))
+				for i := range c.set.PAPIAgg {
+					c.set.PAPIAgg[i] = make([]int64, c.machine.NumPEs)
+				}
+			}
+			for ev, v := range p.aggPAPI {
+				c.set.PAPIAgg[ev][p.pe] += v
+			}
+		}
+	}
 	c.set.Logical[p.pe] = p.logical
 	c.set.LogicalSendCount[p.pe] = p.logicalCount
 	c.set.PAPI[p.pe] = p.papiRecs
@@ -323,4 +407,18 @@ func (p *PECollector) Close() {
 		}
 		c.set.Segments[p.pe] = recs
 	}
+}
+
+// physAggMatrix returns (creating on demand) the aggregate matrix for a
+// send kind. Caller holds c.mu.
+func (c *Collector) physAggMatrix(kind conveyor.SendKind) Matrix {
+	if c.set.PhysicalAgg == nil {
+		c.set.PhysicalAgg = make(map[conveyor.SendKind]Matrix)
+	}
+	m := c.set.PhysicalAgg[kind]
+	if m == nil {
+		m = NewMatrix(c.machine.NumPEs)
+		c.set.PhysicalAgg[kind] = m
+	}
+	return m
 }

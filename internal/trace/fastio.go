@@ -1,0 +1,414 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"actorprof/internal/conveyor"
+	"actorprof/internal/stats"
+)
+
+// Byte-level CSV codecs for the hot per-record trace files. The seed
+// implementation parsed every line through strings.Split + TrimSpace +
+// strconv.ParseInt (three allocations per line before the record is even
+// built) and wrote through fmt.Fprintf (one reflection walk per record).
+// At the trace sizes the paper worries about (Section VI: traces reach
+// the order of 100 GB) that per-line garbage dominates the whole
+// parse-aggregate-plot pipeline, so these codecs parse and append
+// records straight from/to byte slices, reusing per-shard scratch:
+// steady-state cost is ~0 allocations per line (record-slice growth
+// amortizes, error formatting allocates only on the error path).
+
+// asciiSpace mirrors the characters strings.TrimSpace removes for ASCII
+// input (trace files are pure ASCII).
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// trimSpace returns b without leading/trailing ASCII whitespace. It
+// never allocates.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// parseInt parses a decimal int64 from b (optionally signed, optionally
+// space-padded) without allocating. It accepts exactly what the seed's
+// strconv.ParseInt(strings.TrimSpace(s), 10, 64) accepted.
+func parseInt(b []byte) (int64, error) {
+	b = trimSpace(b)
+	if len(b) == 0 {
+		return 0, errEmptyInt
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, errEmptyInt
+		}
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, errBadDigit
+		}
+		d := uint64(c - '0')
+		if v > (1<<63-1)/10 {
+			return 0, errIntRange
+		}
+		v = v*10 + d
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, errIntRange
+		}
+		return -int64(v), nil
+	}
+	if v > 1<<63-1 {
+		return 0, errIntRange
+	}
+	return int64(v), nil
+}
+
+var (
+	errEmptyInt = fmt.Errorf("empty integer field")
+	errBadDigit = fmt.Errorf("invalid digit")
+	errIntRange = fmt.Errorf("value out of range")
+)
+
+// parseIntsComma splits line on commas and parses every field into out
+// (reused across calls: pass out[:0] of a scratch slice). It mirrors the
+// seed parseIntFields contract: at least want fields, every field an
+// integer, extra fields kept.
+//
+// The single-pass loop below handles the writer's own output (bare
+// digits, optional leading '-', separated by single commas) without
+// slicing out per-field subranges; anything else - signs, padding,
+// empty fields, >18-digit values - falls back to the per-field parser,
+// which produces the canonical error messages.
+func parseIntsComma(line []byte, want int, out []int64) ([]int64, error) {
+	i, n := 0, len(line)
+	for {
+		neg := false
+		if i < n && line[i] == '-' {
+			neg = true
+			i++
+		}
+		start := i
+		var v uint64
+		for i < n {
+			c := line[i]
+			if c < '0' || c > '9' {
+				break
+			}
+			v = v*10 + uint64(c-'0')
+			i++
+		}
+		if i == start || i-start > 18 { // empty field or possible overflow
+			return parseIntsCommaSlow(line, want, out[:0])
+		}
+		if neg {
+			out = append(out, -int64(v))
+		} else {
+			out = append(out, int64(v))
+		}
+		if i == n {
+			break
+		}
+		if line[i] != ',' {
+			return parseIntsCommaSlow(line, want, out[:0])
+		}
+		i++
+		if i == n { // trailing comma: empty last field
+			return parseIntsCommaSlow(line, want, out[:0])
+		}
+	}
+	if len(out) < want {
+		return nil, fmt.Errorf("trace: line %q has %d fields, want >= %d", line, len(out), want)
+	}
+	return out, nil
+}
+
+func parseIntsCommaSlow(line []byte, want int, out []int64) ([]int64, error) {
+	fields := 0
+	for start := 0; ; fields++ {
+		end := start
+		for end < len(line) && line[end] != ',' {
+			end++
+		}
+		v, err := parseInt(line[start:end])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %q field %d: %w", line, fields, err)
+		}
+		out = append(out, v)
+		if end == len(line) {
+			break
+		}
+		start = end + 1
+	}
+	if len(out) < want {
+		return nil, fmt.Errorf("trace: line %q has %d fields, want >= %d", line, len(out), want)
+	}
+	return out, nil
+}
+
+// csvScratch is the per-shard scratch a CSV scanner reuses across lines.
+type csvScratch struct {
+	ints []int64
+	// arena hands out counter slices in chunks so a PAPI scan costs one
+	// allocation per ~arenaChunk counters instead of one per record.
+	arena []int64
+}
+
+const arenaChunk = 4096
+
+func (s *csvScratch) counters(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	if len(s.arena) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		s.arena = make([]int64, size)
+	}
+	out := s.arena[:n:n]
+	s.arena = s.arena[n:]
+	return out
+}
+
+// newLineScanner wraps r in a bufio.Scanner tuned for trace files.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	return sc
+}
+
+// scanLogicalCSV streams PEi_send.csv records from r into yield.
+func scanLogicalCSV(r io.Reader, npes int, tolerant bool, scratch *csvScratch, yield func(LogicalRecord)) (int, error) {
+	skipped := 0
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := trimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		v, err := parseIntsComma(line, 5, scratch.ints[:0])
+		if err == nil {
+			err = checkPERange("logical", int(v[1]), int(v[3]), npes)
+		}
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
+			}
+			return 0, err
+		}
+		scratch.ints = v[:0]
+		yield(LogicalRecord{
+			SrcNode: int(v[0]), SrcPE: int(v[1]),
+			DstNode: int(v[2]), DstPE: int(v[3]), MsgSize: int(v[4]),
+		})
+	}
+	return skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
+// scanPAPICSV streams PEi_PAPI.csv records from r into yield.
+func scanPAPICSV(r io.Reader, nEvents, npes int, tolerant bool, scratch *csvScratch, yield func(PAPIRecord)) (int, error) {
+	skipped := 0
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := trimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		v, err := parseIntsComma(line, 7+nEvents, scratch.ints[:0])
+		if err == nil {
+			err = checkPERange("PAPI", int(v[1]), int(v[3]), npes)
+		}
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
+			}
+			return 0, err
+		}
+		scratch.ints = v[:0]
+		counters := scratch.counters(len(v) - 7)
+		copy(counters, v[7:])
+		yield(PAPIRecord{
+			SrcNode: int(v[0]), SrcPE: int(v[1]),
+			DstNode: int(v[2]), DstPE: int(v[3]),
+			PktSize: int(v[4]), MailboxID: int(v[5]), NumSends: int(v[6]),
+			Counters: counters,
+		})
+	}
+	return skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
+// parsePhysicalRecord parses one physical-trace line (already trimmed,
+// non-empty) without allocating.
+func parsePhysicalRecord(line []byte, npes int, scratch *csvScratch) (PhysicalRecord, error) {
+	comma := -1
+	for i, c := range line {
+		if c == ',' {
+			comma = i
+			break
+		}
+	}
+	if comma < 0 {
+		return PhysicalRecord{}, fmt.Errorf("trace: bad physical line %q", line)
+	}
+	kind, ok := sendKindOf(line[:comma])
+	if !ok {
+		return PhysicalRecord{}, fmt.Errorf("trace: unknown send type %q", line[:comma])
+	}
+	v, err := parseIntsComma(line[comma+1:], 3, scratch.ints[:0])
+	if err != nil || len(v) != 3 {
+		return PhysicalRecord{}, fmt.Errorf("trace: bad physical line %q", line)
+	}
+	scratch.ints = v[:0]
+	if err := checkPERange("physical", int(v[1]), int(v[2]), npes); err != nil {
+		return PhysicalRecord{}, err
+	}
+	return PhysicalRecord{Kind: kind, BufBytes: int(v[0]), SrcPE: int(v[1]), DstPE: int(v[2])}, nil
+}
+
+// sendKindOf maps the on-disk send-type token to its SendKind without
+// building a string.
+func sendKindOf(tok []byte) (conveyor.SendKind, bool) {
+	for _, k := range []conveyor.SendKind{conveyor.LocalSend, conveyor.NonblockSend, conveyor.NonblockProgress} {
+		if string(tok) == k.String() { // comparison, not conversion: no alloc
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// scanPhysicalCSV streams physical.txt (or .part) records into yield.
+func scanPhysicalCSV(r io.Reader, npes int, tolerant bool, scratch *csvScratch, yield func(PhysicalRecord)) (int, error) {
+	skipped := 0
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := trimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := parsePhysicalRecord(line, npes, scratch)
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
+			}
+			return 0, err
+		}
+		yield(rec)
+	}
+	return skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
+// Append-side codecs: one scratch []byte per shard, records appended
+// with strconv.AppendInt and flushed in whole lines.
+
+func appendLogical(buf []byte, r LogicalRecord) []byte {
+	buf = strconv.AppendInt(buf, int64(r.SrcNode), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.SrcPE), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.DstNode), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.DstPE), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.MsgSize), 10)
+	return append(buf, '\n')
+}
+
+func appendPAPI(buf []byte, r PAPIRecord) []byte {
+	buf = strconv.AppendInt(buf, int64(r.SrcNode), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.SrcPE), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.DstNode), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.DstPE), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.PktSize), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.MailboxID), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.NumSends), 10)
+	for _, c := range r.Counters {
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, c, 10)
+	}
+	return append(buf, '\n')
+}
+
+func appendPhysical(buf []byte, r PhysicalRecord) []byte {
+	buf = append(buf, r.Kind.String()...)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.BufBytes), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.SrcPE), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(r.DstPE), 10)
+	return append(buf, '\n')
+}
+
+// appendOverall emits the two overall.txt lines of one record, matching
+// the seed's fmt layout byte for byte.
+func appendOverall(buf []byte, r OverallRecord) []byte {
+	buf = append(buf, "Absolute [PE"...)
+	buf = strconv.AppendInt(buf, int64(r.PE), 10)
+	buf = append(buf, "] TCOMM_PROFILING ("...)
+	buf = strconv.AppendInt(buf, r.TMain, 10)
+	buf = append(buf, ", "...)
+	buf = strconv.AppendInt(buf, r.TComm, 10)
+	buf = append(buf, ", "...)
+	buf = strconv.AppendInt(buf, r.TProc, 10)
+	buf = append(buf, ")\nRelative [PE"...)
+	buf = strconv.AppendInt(buf, int64(r.PE), 10)
+	buf = append(buf, "] TCOMM_PROFILING ("...)
+	buf = strconv.AppendFloat(buf, r.RelMain(), 'f', 6, 64)
+	buf = append(buf, ", "...)
+	buf = strconv.AppendFloat(buf, r.RelComm(), 'f', 6, 64)
+	buf = append(buf, ", "...)
+	buf = strconv.AppendFloat(buf, r.RelProc(), 'f', 6, 64)
+	return append(buf, ")\n"...)
+}
+
+// appendSegment emits one segments.txt line; events supplies the counter
+// column names (config order).
+func appendSegment(buf []byte, r SegmentRecord, eventNames []string) []byte {
+	buf = append(buf, "[PE"...)
+	buf = strconv.AppendInt(buf, int64(r.PE), 10)
+	buf = append(buf, "] SEGMENT "...)
+	buf = append(buf, r.Name...)
+	buf = append(buf, " count="...)
+	buf = strconv.AppendInt(buf, r.Count, 10)
+	buf = append(buf, " cycles="...)
+	buf = strconv.AppendInt(buf, r.Cycles, 10)
+	for i, ev := range eventNames {
+		if i >= len(r.Counters) {
+			break
+		}
+		buf = append(buf, ' ')
+		buf = append(buf, ev...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, r.Counters[i], 10)
+	}
+	return append(buf, '\n')
+}
+
+// foldMsgBytes observes one logical record's payload size into a
+// streaming accumulator (the Summary's message-size statistics).
+func foldMsgBytes(s *stats.Stream, r LogicalRecord) { s.Observe(int64(r.MsgSize)) }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -11,7 +12,6 @@ import (
 	"strconv"
 	"strings"
 
-	"actorprof/internal/conveyor"
 	"actorprof/internal/papi"
 )
 
@@ -26,43 +26,99 @@ const (
 	metaFile     = "actorprof_meta.txt"
 )
 
-// WriteFiles writes every enabled trace to dir in the paper's formats:
-// per-PE PEi_send.csv and PEi_PAPI.csv, plus shared overall.txt and
-// physical.txt, and an actorprof_meta.txt with run parameters (number of
-// PEs, PEs per node, PAPI event names) that the readers use.
+// ReadOptions tunes ReadSetOptions / ReadSummary / Accumulate.
+type ReadOptions struct {
+	// Tolerant makes malformed lines (the torn tail of a file a streaming
+	// collector is still appending to) count as skipped instead of fatal,
+	// and merges unassembled physical .part files. This is ReadSetLive's
+	// behavior; the default (false) is ReadSet's strict behavior.
+	Tolerant bool
+	// Workers bounds the parse worker pool. <= 0 means GOMAXPROCS. The
+	// result is identical for every worker count: each per-PE file is one
+	// task writing into its own slot, and slots merge in file order.
+	Workers int
+}
+
+func (o ReadOptions) workers() int {
+	if o.Workers <= 0 {
+		return defaultWorkers()
+	}
+	return o.Workers
+}
+
+// WriteFiles writes every enabled trace to dir in the formats selected
+// by Config.Format: the paper's text formats (per-PE PEi_send.csv and
+// PEi_PAPI.csv, shared overall.txt/physical.txt/segments.txt), the
+// binary columnar *.bin siblings, or both. actorprof_meta.txt (run
+// parameters: number of PEs, PEs per node, PAPI event names) is always
+// text; the readers need it first. Per-PE files are written in parallel.
 func (s *Set) WriteFiles(dir string) error {
+	if s.Config.Aggregate {
+		return fmt.Errorf("trace: WriteFiles needs raw records, but the set was collected with Config.Aggregate (only matrices were kept)")
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("trace: creating output dir: %w", err)
 	}
 	if err := s.writeMeta(dir); err != nil {
 		return err
 	}
+	format := s.Config.Format
+	var jobs []func() error
 	if s.Config.Logical {
 		for pe := 0; pe < s.NumPEs; pe++ {
-			if err := s.writeLogical(dir, pe); err != nil {
-				return err
+			pe := pe
+			if format.csv() {
+				jobs = append(jobs, func() error { return s.writeLogical(dir, pe) })
+			}
+			if format.binary() {
+				jobs = append(jobs, func() error { return s.writeLogicalBin(dir, pe) })
 			}
 		}
 	}
 	if len(s.Config.PAPIEvents) > 0 {
 		for pe := 0; pe < s.NumPEs; pe++ {
-			if err := s.writePAPI(dir, pe); err != nil {
-				return err
+			pe := pe
+			if format.csv() {
+				jobs = append(jobs, func() error { return s.writePAPI(dir, pe) })
+			}
+			if format.binary() {
+				jobs = append(jobs, func() error { return s.writePAPIBin(dir, pe) })
 			}
 		}
 	}
 	if s.Config.Overall {
-		if err := s.writeOverall(dir); err != nil {
-			return err
+		if format.csv() {
+			jobs = append(jobs, func() error { return s.writeOverall(dir) })
+		}
+		if format.binary() {
+			jobs = append(jobs, func() error { return s.writeOverallBin(dir) })
 		}
 	}
 	if s.Config.Physical {
-		if err := s.writePhysical(dir); err != nil {
-			return err
+		if format.csv() {
+			jobs = append(jobs, func() error { return s.writePhysical(dir) })
+		}
+		if format.binary() {
+			jobs = append(jobs, func() error { return s.writePhysicalBin(dir) })
 		}
 	}
 	if s.hasSegments() {
-		if err := s.writeSegments(dir); err != nil {
+		if format.csv() {
+			jobs = append(jobs, func() error { return s.writeSegments(dir) })
+		}
+		if format.binary() {
+			jobs = append(jobs, func() error { return s.writeSegmentsBin(dir) })
+		}
+	}
+	errs := make([]error, len(jobs))
+	tasks := make([]func(), len(jobs))
+	for i := range jobs {
+		i := i
+		tasks[i] = func() { errs[i] = jobs[i]() }
+	}
+	runTasks(defaultWorkers(), tasks)
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
@@ -79,47 +135,42 @@ func (s *Set) hasSegments() bool {
 }
 
 func (s *Set) writeSegments(dir string) error {
+	names := make([]string, len(s.Config.PAPIEvents))
+	for i, ev := range s.Config.PAPIEvents {
+		names[i] = ev.String()
+	}
 	return writeLines(filepath.Join(dir, segmentsFile), func(w *bufio.Writer) error {
+		var buf []byte
 		for pe := 0; pe < s.NumPEs; pe++ {
 			for _, r := range s.Segments[pe] {
-				fmt.Fprintf(w, "[PE%d] SEGMENT %s count=%d cycles=%d", r.PE, r.Name, r.Count, r.Cycles)
-				for i, ev := range s.Config.PAPIEvents {
-					if i < len(r.Counters) {
-						fmt.Fprintf(w, " %s=%d", ev, r.Counters[i])
-					}
+				buf = appendSegment(buf[:0], r, names)
+				if _, err := w.Write(buf); err != nil {
+					return err
 				}
-				fmt.Fprintln(w)
 			}
 		}
 		return nil
 	})
 }
 
-func readSegmentsFile(path string, nEvents int, tolerant bool) ([]SegmentRecord, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	var recs []SegmentRecord
-	skipped := 0
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		rec, err := parseSegmentLine(line, nEvents)
-		if err != nil {
-			if tolerant {
-				skipped++
-				continue
+func (s *Set) writeSegmentsBin(dir string) error {
+	nev := len(s.Config.PAPIEvents)
+	return writeBinFile(filepath.Join(dir, segmentsBinFile), binKindSegments, 3+nev, func(b *binWriter) {
+		row := make([]int64, 3+nev)
+		for pe := 0; pe < s.NumPEs; pe++ {
+			for _, r := range s.Segments[pe] {
+				row[0], row[1], row[2] = int64(r.PE), r.Count, r.Cycles
+				for i := 0; i < nev; i++ {
+					if i < len(r.Counters) {
+						row[3+i] = r.Counters[i]
+					} else {
+						row[3+i] = 0
+					}
+				}
+				b.pushStr(r.Name, row...)
 			}
-			return nil, 0, err
 		}
-		recs = append(recs, rec)
-	}
-	return recs, skipped, scanErr(sc.Err(), tolerant, &skipped)
+	})
 }
 
 func parseSegmentLine(line string, nEvents int) (SegmentRecord, error) {
@@ -153,12 +204,33 @@ func parseSegmentLine(line string, nEvents int) (SegmentRecord, error) {
 	return rec, nil
 }
 
+func scanSegmentsCSV(r io.Reader, nEvents int, tolerant bool, yield func(SegmentRecord)) (int, error) {
+	skipped := 0
+	sc := newLineScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rec, err := parseSegmentLine(line, nEvents)
+		if err != nil {
+			if tolerant {
+				skipped++
+				continue
+			}
+			return 0, err
+		}
+		yield(rec)
+	}
+	return skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
 func writeLines(path string, emit func(w *bufio.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	w := bufio.NewWriter(f)
+	w := bufio.NewWriterSize(f, 1<<16)
 	if err := emit(w); err != nil {
 		f.Close()
 		return err
@@ -188,24 +260,57 @@ func (s *Set) writeMeta(dir string) error {
 
 func (s *Set) writeLogical(dir string, pe int) error {
 	return writeLines(filepath.Join(dir, logicalFile(pe)), func(w *bufio.Writer) error {
+		var buf []byte
 		for _, r := range s.Logical[pe] {
-			fmt.Fprintf(w, "%d,%d,%d,%d,%d\n", r.SrcNode, r.SrcPE, r.DstNode, r.DstPE, r.MsgSize)
+			buf = appendLogical(buf[:0], r)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
 }
 
+func (s *Set) writeLogicalBin(dir string, pe int) error {
+	return writeBinFile(filepath.Join(dir, logicalBinFile(pe)), binKindLogical, 5, func(b *binWriter) {
+		for _, r := range s.Logical[pe] {
+			b.push(int64(r.SrcNode), int64(r.SrcPE), int64(r.DstNode), int64(r.DstPE), int64(r.MsgSize))
+		}
+	})
+}
+
 func (s *Set) writePAPI(dir string, pe int) error {
 	return writeLines(filepath.Join(dir, papiFile(pe)), func(w *bufio.Writer) error {
+		var buf []byte
 		for _, r := range s.PAPI[pe] {
-			fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d", r.SrcNode, r.SrcPE, r.DstNode, r.DstPE,
-				r.PktSize, r.MailboxID, r.NumSends)
-			for _, c := range r.Counters {
-				fmt.Fprintf(w, ",%d", c)
+			buf = appendPAPI(buf[:0], r)
+			if _, err := w.Write(buf); err != nil {
+				return err
 			}
-			fmt.Fprintln(w)
 		}
 		return nil
+	})
+}
+
+func (s *Set) writePAPIBin(dir string, pe int) error {
+	nev := len(s.Config.PAPIEvents)
+	return writeBinFile(filepath.Join(dir, papiBinFile(pe)), binKindPAPI, 7+nev, func(b *binWriter) {
+		row := make([]int64, 7+nev)
+		for _, r := range s.PAPI[pe] {
+			row[0], row[1] = int64(r.SrcNode), int64(r.SrcPE)
+			row[2], row[3] = int64(r.DstNode), int64(r.DstPE)
+			row[4], row[5], row[6] = int64(r.PktSize), int64(r.MailboxID), int64(r.NumSends)
+			// Columnar blocks need a uniform width; ragged counter lists
+			// (possible only in hand-edited CSV) pad with zeros / truncate.
+			for i := 0; i < nev; i++ {
+				if i < len(r.Counters) {
+					row[7+i] = r.Counters[i]
+				} else {
+					row[7+i] = 0
+				}
+			}
+			b.push(row...)
+		}
 	})
 }
 
@@ -213,24 +318,49 @@ func (s *Set) writeOverall(dir string) error {
 	recs := append([]OverallRecord(nil), s.Overall...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].PE < recs[j].PE })
 	return writeLines(filepath.Join(dir, overallFile), func(w *bufio.Writer) error {
+		var buf []byte
 		for _, r := range recs {
-			fmt.Fprintf(w, "Absolute [PE%d] TCOMM_PROFILING (%d, %d, %d)\n",
-				r.PE, r.TMain, r.TComm, r.TProc)
-			fmt.Fprintf(w, "Relative [PE%d] TCOMM_PROFILING (%.6f, %.6f, %.6f)\n",
-				r.PE, r.RelMain(), r.RelComm(), r.RelProc())
+			buf = appendOverall(buf[:0], r)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
 }
 
+func (s *Set) writeOverallBin(dir string) error {
+	recs := append([]OverallRecord(nil), s.Overall...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].PE < recs[j].PE })
+	return writeBinFile(filepath.Join(dir, overallBinFile), binKindOverall, 4, func(b *binWriter) {
+		for _, r := range recs {
+			b.push(int64(r.PE), r.TMain, r.TComm, r.TProc)
+		}
+	})
+}
+
 func (s *Set) writePhysical(dir string) error {
 	return writeLines(filepath.Join(dir, physicalFile), func(w *bufio.Writer) error {
+		var buf []byte
 		for pe := 0; pe < s.NumPEs; pe++ {
 			for _, r := range s.Physical[pe] {
-				fmt.Fprintf(w, "%s,%d,%d,%d\n", r.Kind, r.BufBytes, r.SrcPE, r.DstPE)
+				buf = appendPhysical(buf[:0], r)
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
+	})
+}
+
+func (s *Set) writePhysicalBin(dir string) error {
+	return writeBinFile(filepath.Join(dir, physicalBinFile), binKindPhysical, 4, func(b *binWriter) {
+		for pe := 0; pe < s.NumPEs; pe++ {
+			for _, r := range s.Physical[pe] {
+				b.push(int64(r.Kind), int64(r.BufBytes), int64(r.SrcPE), int64(r.DstPE))
+			}
+		}
 	})
 }
 
@@ -240,7 +370,7 @@ func (s *Set) writePhysical(dir string) error {
 // must parse: a malformed record is an error. For directories a streaming
 // collector is still writing into, use ReadSetLive instead.
 func ReadSet(dir string) (*Set, error) {
-	s, _, err := readSet(dir, false)
+	s, _, err := readSet(dir, ReadOptions{})
 	return s, err
 }
 
@@ -253,102 +383,350 @@ func ReadSet(dir string) (*Set, error) {
 // a nonzero count on a *finished* directory indicates corruption that
 // ReadSet would have reported as an error.
 func ReadSetLive(dir string) (*Set, int, error) {
-	return readSet(dir, true)
+	return readSet(dir, ReadOptions{Tolerant: true})
 }
 
-func readSet(dir string, tolerant bool) (*Set, int, error) {
+// ReadSetOptions is ReadSet/ReadSetLive with explicit options. For every
+// worker count (including 1) it returns an identical Set, identical
+// skipped count, and - on malformed input - the same error a sequential
+// read would report first.
+func ReadSetOptions(dir string, opts ReadOptions) (*Set, int, error) {
+	return readSet(dir, opts)
+}
+
+// fileResult is one parse task's result slot (DESIGN.md §10): the task
+// that fills it is its only writer, and the merge reads it only after
+// the worker pool has drained.
+type fileResult[T any] struct {
+	recs    []T
+	skipped int
+	found   bool
+	err     error
+}
+
+// openShard opens the first existing candidate path and sniffs whether
+// its content is the binary format (by magic, so auto-detection works
+// regardless of file extension). The returned reader replays the
+// sniffed head; CSV scanners consume it directly (the line scanner is
+// the only buffer layer), the binary decoder wraps it in a
+// bufio.Reader. Returns os.IsNotExist-able error when no candidate
+// exists.
+func openShard(candidates ...string) (*os.File, io.Reader, bool, error) {
+	var lastErr error = os.ErrNotExist
+	for _, p := range candidates {
+		f, err := os.Open(p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		head := make([]byte, 4)
+		n, err := io.ReadFull(f, head)
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			f.Close()
+			return nil, nil, false, err
+		}
+		if n == 4 && string(head) == binMagic {
+			// Rewind so the binary branch's bufio.Reader is the only
+			// buffer layer between decoder and file.
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return nil, nil, false, err
+			}
+			return f, f, true, nil
+		}
+		return f, io.MultiReader(bytes.NewReader(head[:n]), f), false, nil
+	}
+	return nil, nil, false, lastErr
+}
+
+// The scan*Shard functions are the primitive per-file readers: they
+// resolve the binary/CSV candidates for one artifact, sniff the format,
+// and stream records into yield without materializing them. readSet
+// wraps them with slice-collecting yields; ReadSummary and Accumulate
+// fold records directly.
+
+func scanLogicalShard(dir string, pe, npes int, tolerant bool, yield func(LogicalRecord)) (bool, int, error) {
+	f, br, isBin, err := openShard(filepath.Join(dir, logicalBinFile(pe)), filepath.Join(dir, logicalFile(pe)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, 0, nil
+		}
+		return false, 0, err
+	}
+	defer f.Close()
+	if isBin {
+		n, err := scanLogicalBin(bufio.NewReaderSize(br, 64<<10), f.Name(), npes, tolerant, yield)
+		return true, n, err
+	}
+	var scratch csvScratch
+	n, err := scanLogicalCSV(br, npes, tolerant, &scratch, yield)
+	return true, n, err
+}
+
+func scanPAPIShard(dir string, pe, nEvents, npes int, tolerant bool, yield func(PAPIRecord)) (bool, int, error) {
+	f, br, isBin, err := openShard(filepath.Join(dir, papiBinFile(pe)), filepath.Join(dir, papiFile(pe)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, 0, nil
+		}
+		return false, 0, err
+	}
+	defer f.Close()
+	if isBin {
+		n, err := scanPAPIBin(bufio.NewReaderSize(br, 64<<10), f.Name(), npes, tolerant, yield)
+		return true, n, err
+	}
+	var scratch csvScratch
+	n, err := scanPAPICSV(br, nEvents, npes, tolerant, &scratch, yield)
+	return true, n, err
+}
+
+func scanOverallShard(dir string, tolerant bool, yield func(OverallRecord)) (bool, int, error) {
+	f, br, isBin, err := openShard(filepath.Join(dir, overallBinFile), filepath.Join(dir, overallFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, 0, nil
+		}
+		return false, 0, err
+	}
+	defer f.Close()
+	if isBin {
+		n, err := scanOverallBin(bufio.NewReaderSize(br, 64<<10), f.Name(), tolerant, yield)
+		return true, n, err
+	}
+	n, err := scanOverallCSV(br, tolerant, yield)
+	return true, n, err
+}
+
+// scanPhysicalShard reads the assembled physical file. When part is >=
+// 0 it instead reads that PE's unassembled .part file (always
+// tolerantly: its tail is being appended to while we read).
+func scanPhysicalShard(dir string, part, npes int, tolerant bool, yield func(PhysicalRecord)) (bool, int, error) {
+	var candidates []string
+	if part >= 0 {
+		tolerant = true
+		candidates = []string{filepath.Join(dir, physicalPartBin(part)), filepath.Join(dir, physicalPart(part))}
+	} else {
+		candidates = []string{filepath.Join(dir, physicalBinFile), filepath.Join(dir, physicalFile)}
+	}
+	f, br, isBin, err := openShard(candidates...)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, 0, nil
+		}
+		return false, 0, err
+	}
+	defer f.Close()
+	if isBin {
+		n, err := scanPhysicalBin(bufio.NewReaderSize(br, 64<<10), f.Name(), npes, tolerant, yield)
+		return true, n, err
+	}
+	var scratch csvScratch
+	n, err := scanPhysicalCSV(br, npes, tolerant, &scratch, yield)
+	return true, n, err
+}
+
+func scanSegmentsShard(dir string, nEvents int, tolerant bool, yield func(SegmentRecord)) (bool, int, error) {
+	f, br, isBin, err := openShard(filepath.Join(dir, segmentsBinFile), filepath.Join(dir, segmentsFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, 0, nil
+		}
+		return false, 0, err
+	}
+	defer f.Close()
+	if isBin {
+		n, err := scanSegmentsBin(bufio.NewReaderSize(br, 64<<10), f.Name(), tolerant, yield)
+		return true, n, err
+	}
+	n, err := scanSegmentsCSV(br, nEvents, tolerant, yield)
+	return true, n, err
+}
+
+// recordCapHint estimates a shard's record count from its on-disk size
+// so the collecting readers allocate once instead of growing through
+// append doublings. Each perRec is a conservative (low) bytes-per-record
+// figure for that format; over-estimating capacity slightly is fine,
+// re-growing is the cost we avoid.
+func recordCapHint(binPath string, binPerRec int, csvPath string, csvPerRec int) int {
+	if fi, err := os.Stat(binPath); err == nil {
+		return int(fi.Size())/binPerRec + 1
+	}
+	if fi, err := os.Stat(csvPath); err == nil {
+		return int(fi.Size())/csvPerRec + 1
+	}
+	return 0
+}
+
+func readLogicalShard(dir string, pe, npes int, tolerant bool) (res fileResult[LogicalRecord]) {
+	if hint := recordCapHint(filepath.Join(dir, logicalBinFile(pe)), 4, filepath.Join(dir, logicalFile(pe)), 10); hint > 0 {
+		res.recs = make([]LogicalRecord, 0, hint)
+	}
+	res.found, res.skipped, res.err = scanLogicalShard(dir, pe, npes, tolerant,
+		func(r LogicalRecord) { res.recs = append(res.recs, r) })
+	return res
+}
+
+func readPAPIShard(dir string, pe, nEvents, npes int, tolerant bool) (res fileResult[PAPIRecord]) {
+	if hint := recordCapHint(filepath.Join(dir, papiBinFile(pe)), 8, filepath.Join(dir, papiFile(pe)), 20); hint > 0 {
+		res.recs = make([]PAPIRecord, 0, hint)
+	}
+	res.found, res.skipped, res.err = scanPAPIShard(dir, pe, nEvents, npes, tolerant,
+		func(r PAPIRecord) { res.recs = append(res.recs, r) })
+	return res
+}
+
+func readOverallShard(dir string, tolerant bool) (res fileResult[OverallRecord]) {
+	res.found, res.skipped, res.err = scanOverallShard(dir, tolerant,
+		func(r OverallRecord) { res.recs = append(res.recs, r) })
+	if res.err == nil {
+		res.recs = normalizeOverall(res.recs)
+	}
+	return res
+}
+
+func readPhysicalShard(dir string, npes int, tolerant bool) (res fileResult[PhysicalRecord]) {
+	res.found, res.skipped, res.err = scanPhysicalShard(dir, -1, npes, tolerant,
+		func(r PhysicalRecord) { res.recs = append(res.recs, r) })
+	return res
+}
+
+func readPhysicalPartShard(dir string, pe, npes int) (res fileResult[PhysicalRecord]) {
+	res.found, res.skipped, res.err = scanPhysicalShard(dir, pe, npes, true,
+		func(r PhysicalRecord) { res.recs = append(res.recs, r) })
+	return res
+}
+
+func readSegmentsShard(dir string, nEvents int, tolerant bool) (res fileResult[SegmentRecord]) {
+	res.found, res.skipped, res.err = scanSegmentsShard(dir, nEvents, tolerant,
+		func(r SegmentRecord) { res.recs = append(res.recs, r) })
+	return res
+}
+
+// readSet is the sharded parallel reader behind ReadSet / ReadSetLive /
+// ReadSetOptions. Every per-PE file (and each shared file) is one task;
+// tasks run on a worker pool and write into result slots they own; the
+// merge below walks the slots sequentially in file order, making record
+// order, skipped totals, and error precedence identical for any worker
+// count (the seed's sequential reader is the workers=1 special case).
+func readSet(dir string, opts ReadOptions) (*Set, int, error) {
 	npes, perNode, events, sample, err := readMeta(filepath.Join(dir, metaFile))
 	if err != nil {
 		return nil, 0, err
 	}
+	tolerant := opts.Tolerant
 	cfg := Config{PAPIEvents: events, LogicalSample: sample}
 	s := NewSet(cfg, npes, perNode)
-	skipped := 0
 
+	logRes := make([]fileResult[LogicalRecord], npes)
+	papiRes := make([]fileResult[PAPIRecord], npes)
+	var overallRes fileResult[OverallRecord]
+	var physRes fileResult[PhysicalRecord]
+	var segRes fileResult[SegmentRecord]
+
+	tasks := make([]func(), 0, 2*npes+3)
 	for pe := 0; pe < npes; pe++ {
-		recs, n, err := readLogicalFile(filepath.Join(dir, logicalFile(pe)), npes, tolerant)
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue
-			}
-			return nil, 0, err
+		pe := pe
+		tasks = append(tasks, func() { logRes[pe] = readLogicalShard(dir, pe, npes, tolerant) })
+	}
+	for pe := 0; pe < npes; pe++ {
+		pe := pe
+		tasks = append(tasks, func() { papiRes[pe] = readPAPIShard(dir, pe, len(events), npes, tolerant) })
+	}
+	tasks = append(tasks,
+		func() { overallRes = readOverallShard(dir, tolerant) },
+		func() { physRes = readPhysicalShard(dir, npes, tolerant) },
+		func() { segRes = readSegmentsShard(dir, len(events), tolerant) },
+	)
+	runTasks(opts.workers(), tasks)
+
+	// Merge phase: sequential, in file order.
+	skipped := 0
+	scale := int64(s.Config.LogicalSample)
+	for pe, r := range logRes {
+		if r.err != nil {
+			return nil, 0, r.err
 		}
-		skipped += n
+		if !r.found {
+			continue
+		}
+		skipped += r.skipped
 		s.Config.Logical = true
-		s.Logical[pe] = recs
-		s.LogicalSendCount[pe] = int64(len(recs)) * int64(sample)
+		s.Logical[pe] = r.recs
+		s.LogicalSendCount[pe] = int64(len(r.recs)) * scale
 	}
-	for pe := 0; pe < npes; pe++ {
-		recs, n, err := readPAPIFile(filepath.Join(dir, papiFile(pe)), len(events), npes, tolerant)
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue
-			}
-			return nil, 0, err
+	for pe, r := range papiRes {
+		if r.err != nil {
+			return nil, 0, r.err
 		}
-		skipped += n
-		s.PAPI[pe] = recs
+		if !r.found {
+			continue
+		}
+		skipped += r.skipped
+		s.PAPI[pe] = r.recs
 	}
-	if recs, n, err := readOverallFile(filepath.Join(dir, overallFile), tolerant); err == nil {
-		skipped += n
+	if overallRes.err != nil {
+		return nil, 0, overallRes.err
+	}
+	if overallRes.found {
+		skipped += overallRes.skipped
 		s.Config.Overall = true
-		s.Overall = recs
-	} else if !os.IsNotExist(err) {
-		return nil, 0, err
+		s.Overall = overallRes.recs
 	}
-	if perPE, n, err := readPhysicalFile(filepath.Join(dir, physicalFile), npes, tolerant); err == nil {
-		skipped += n
+	if physRes.err != nil {
+		return nil, 0, physRes.err
+	}
+	if physRes.found {
+		skipped += physRes.skipped
 		s.Config.Physical = true
-		s.Physical = perPE
-	} else if !os.IsNotExist(err) {
-		return nil, 0, err
+		for _, r := range physRes.recs {
+			s.Physical[r.SrcPE] = append(s.Physical[r.SrcPE], r)
+		}
 	} else if tolerant {
 		// A live streaming dir assembles physical.txt only at Finalize;
 		// until then the records sit in per-PE .part files.
-		perPE, n, found, err := readPhysicalParts(dir, npes)
-		if err != nil {
-			return nil, 0, err
+		partRes := make([]fileResult[PhysicalRecord], npes)
+		partTasks := make([]func(), npes)
+		for pe := 0; pe < npes; pe++ {
+			pe := pe
+			partTasks[pe] = func() { partRes[pe] = readPhysicalPartShard(dir, pe, npes) }
 		}
-		if found {
-			skipped += n
-			s.Config.Physical = true
-			s.Physical = perPE
-		}
-	}
-	if recs, n, err := readSegmentsFile(filepath.Join(dir, segmentsFile), len(events), tolerant); err == nil {
-		skipped += n
-		for _, r := range recs {
-			if r.PE >= 0 && r.PE < npes {
-				s.Segments[r.PE] = append(s.Segments[r.PE], r)
+		runTasks(opts.workers(), partTasks)
+		for _, r := range partRes {
+			if r.err != nil {
+				return nil, 0, r.err
 			}
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, 0, err
-	}
-	return s, skipped, nil
-}
-
-// readPhysicalParts merges the physical.PE*.part files of a streaming
-// run that has not been finalized. Parts are always read tolerantly:
-// their tails are being appended to while we read.
-func readPhysicalParts(dir string, npes int) (perPE [][]PhysicalRecord, skipped int, found bool, err error) {
-	perPE = make([][]PhysicalRecord, npes)
-	for pe := 0; pe < npes; pe++ {
-		f, err := os.Open(filepath.Join(dir, physicalPart(pe)))
-		if err != nil {
-			if os.IsNotExist(err) {
+			if !r.found {
 				continue
 			}
-			return nil, 0, false, err
-		}
-		found = true
-		n, parseErr := parsePhysicalLines(f, perPE, npes, true)
-		skipped += n
-		if err := errors.Join(parseErr, f.Close()); err != nil {
-			return nil, 0, false, err
+			skipped += r.skipped
+			s.Config.Physical = true
+			for _, rec := range r.recs {
+				s.Physical[rec.SrcPE] = append(s.Physical[rec.SrcPE], rec)
+			}
 		}
 	}
-	return perPE, skipped, found, nil
+	if segRes.err != nil {
+		return nil, 0, segRes.err
+	}
+	if segRes.found {
+		skipped += segRes.skipped
+		for _, r := range segRes.recs {
+			if r.PE < 0 || r.PE >= npes {
+				// An out-of-range segment record is corruption, same as
+				// any other reader's PE-range check: skipped when
+				// tolerant, fatal otherwise. (The seed dropped these
+				// silently.)
+				if tolerant {
+					skipped++
+					continue
+				}
+				return nil, 0, fmtErrSegmentRange(r.PE, npes)
+			}
+			s.Segments[r.PE] = append(s.Segments[r.PE], r)
+		}
+	}
+	return s, skipped, nil
 }
 
 func readMeta(path string) (npes, perNode int, events []papi.Event, sample int, err error) {
@@ -408,6 +786,11 @@ func readMeta(path string) (npes, perNode int, events []papi.Event, sample int, 
 // corrupt meta line must not drive the reader into huge allocations.
 const maxReadPEs = 1 << 20
 
+// fmtErrSegmentRange is the segments reader's PE-range violation.
+func fmtErrSegmentRange(pe, npes int) error {
+	return fmt.Errorf("trace: segments record with PE %d outside [0, %d)", pe, npes)
+}
+
 // checkPERange rejects records whose endpoints fall outside the world
 // declared by the meta file. The analysis layer indexes matrices with
 // these values directly, so admitting them here would turn a corrupt
@@ -433,97 +816,11 @@ func scanErr(err error, tolerant bool, skipped *int) error {
 	return err
 }
 
-func parseIntFields(line string, want int) ([]int64, error) {
-	parts := strings.Split(line, ",")
-	if len(parts) < want {
-		return nil, fmt.Errorf("trace: line %q has %d fields, want >= %d", line, len(parts), want)
-	}
-	out := make([]int64, len(parts))
-	for i, p := range parts {
-		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %q field %d: %w", line, i, err)
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
-func readLogicalFile(path string, npes int, tolerant bool) ([]LogicalRecord, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	var recs []LogicalRecord
+// scanOverallCSV parses overall.txt lines: only "Absolute" lines carry
+// data ("Relative" lines are derived and re-derivable).
+func scanOverallCSV(r io.Reader, tolerant bool, yield func(OverallRecord)) (int, error) {
 	skipped := 0
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		if strings.TrimSpace(sc.Text()) == "" {
-			continue
-		}
-		v, err := parseIntFields(sc.Text(), 5)
-		if err == nil {
-			err = checkPERange("logical", int(v[1]), int(v[3]), npes)
-		}
-		if err != nil {
-			if tolerant {
-				skipped++
-				continue
-			}
-			return nil, 0, err
-		}
-		recs = append(recs, LogicalRecord{
-			SrcNode: int(v[0]), SrcPE: int(v[1]),
-			DstNode: int(v[2]), DstPE: int(v[3]), MsgSize: int(v[4]),
-		})
-	}
-	return recs, skipped, scanErr(sc.Err(), tolerant, &skipped)
-}
-
-func readPAPIFile(path string, nEvents, npes int, tolerant bool) ([]PAPIRecord, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	var recs []PAPIRecord
-	skipped := 0
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		if strings.TrimSpace(sc.Text()) == "" {
-			continue
-		}
-		v, err := parseIntFields(sc.Text(), 7+nEvents)
-		if err == nil {
-			err = checkPERange("PAPI", int(v[1]), int(v[3]), npes)
-		}
-		if err != nil {
-			if tolerant {
-				skipped++
-				continue
-			}
-			return nil, 0, err
-		}
-		recs = append(recs, PAPIRecord{
-			SrcNode: int(v[0]), SrcPE: int(v[1]),
-			DstNode: int(v[2]), DstPE: int(v[3]),
-			PktSize: int(v[4]), MailboxID: int(v[5]), NumSends: int(v[6]),
-			Counters: v[7:],
-		})
-	}
-	return recs, skipped, scanErr(sc.Err(), tolerant, &skipped)
-}
-
-func readOverallFile(path string, tolerant bool) ([]OverallRecord, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	byPE := map[int]*OverallRecord{}
-	skipped := 0
-	sc := bufio.NewScanner(f)
+	sc := newLineScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if !strings.HasPrefix(line, "Absolute ") {
@@ -537,86 +834,28 @@ func readOverallFile(path string, tolerant bool) ([]OverallRecord, int, error) {
 				skipped++
 				continue
 			}
-			return nil, 0, fmt.Errorf("trace: bad overall line %q: %w", line, err)
+			return 0, fmt.Errorf("trace: bad overall line %q: %w", line, err)
 		}
-		byPE[pe] = &OverallRecord{PE: pe, TMain: m, TComm: c, TProc: p, TTotal: m + c + p}
+		yield(OverallRecord{PE: pe, TMain: m, TComm: c, TProc: p, TTotal: m + c + p})
 	}
-	if err := scanErr(sc.Err(), tolerant, &skipped); err != nil {
-		return nil, 0, err
+	return skipped, scanErr(sc.Err(), tolerant, &skipped)
+}
+
+// normalizeOverall dedupes overall records by PE (last record wins, as
+// the seed's map-based reader behaved) and sorts by PE.
+func normalizeOverall(recs []OverallRecord) []OverallRecord {
+	byPE := map[int]OverallRecord{}
+	for _, r := range recs {
+		byPE[r.PE] = r
 	}
 	pes := make([]int, 0, len(byPE))
 	for pe := range byPE {
 		pes = append(pes, pe)
 	}
 	sort.Ints(pes)
-	recs := make([]OverallRecord, 0, len(pes))
+	out := make([]OverallRecord, 0, len(pes))
 	for _, pe := range pes {
-		recs = append(recs, *byPE[pe])
+		out = append(out, byPE[pe])
 	}
-	return recs, skipped, nil
-}
-
-func readPhysicalFile(path string, npes int, tolerant bool) ([][]PhysicalRecord, int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	perPE := make([][]PhysicalRecord, npes)
-	skipped, err := parsePhysicalLines(f, perPE, npes, tolerant)
-	return perPE, skipped, err
-}
-
-// parsePhysicalLines parses physical-trace lines from r into perPE. It
-// is shared between the finalized physical.txt and the live per-PE
-// .part files (which hold the same line format).
-func parsePhysicalLines(r io.Reader, perPE [][]PhysicalRecord, npes int, tolerant bool) (int, error) {
-	skipped := 0
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		rec, err := parsePhysicalLine(line, npes)
-		if err != nil {
-			if tolerant {
-				skipped++
-				continue
-			}
-			return 0, err
-		}
-		perPE[rec.SrcPE] = append(perPE[rec.SrcPE], rec)
-	}
-	return skipped, scanErr(sc.Err(), tolerant, &skipped)
-}
-
-func parsePhysicalLine(line string, npes int) (PhysicalRecord, error) {
-	parts := strings.Split(line, ",")
-	if len(parts) != 4 {
-		return PhysicalRecord{}, fmt.Errorf("trace: bad physical line %q", line)
-	}
-	var kind conveyor.SendKind
-	switch parts[0] {
-	case conveyor.LocalSend.String():
-		kind = conveyor.LocalSend
-	case conveyor.NonblockSend.String():
-		kind = conveyor.NonblockSend
-	case conveyor.NonblockProgress.String():
-		kind = conveyor.NonblockProgress
-	default:
-		return PhysicalRecord{}, fmt.Errorf("trace: unknown send type %q", parts[0])
-	}
-	var nums [3]int
-	for i := 0; i < 3; i++ {
-		n, err := strconv.Atoi(strings.TrimSpace(parts[i+1]))
-		if err != nil {
-			return PhysicalRecord{}, fmt.Errorf("trace: bad physical line %q: %w", line, err)
-		}
-		nums[i] = n
-	}
-	if err := checkPERange("physical", nums[1], nums[2], npes); err != nil {
-		return PhysicalRecord{}, err
-	}
-	return PhysicalRecord{Kind: kind, BufBytes: nums[0], SrcPE: nums[1], DstPE: nums[2]}, nil
+	return out
 }

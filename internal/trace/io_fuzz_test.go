@@ -7,6 +7,16 @@ import (
 	"testing"
 )
 
+// fuzzReadLogical reads dir's PE0 logical shard (CSV or binary, sniffed
+// by content like ReadSet does).
+func fuzzReadLogical(dir string, tolerant bool) ([]LogicalRecord, int, error) {
+	var recs []LogicalRecord
+	_, skipped, err := scanLogicalShard(dir, 0, maxReadPEs, tolerant, func(r LogicalRecord) {
+		recs = append(recs, r)
+	})
+	return recs, skipped, err
+}
+
 // FuzzReadLogicalFile throws arbitrary bytes at the PEi_send.csv reader:
 // it must either error or return records, never panic - and a successful
 // parse must be stable under rewrite-and-reparse (the visualizer reads
@@ -24,10 +34,10 @@ func FuzzReadLogicalFile(f *testing.F) {
 			t.Fatal(err)
 		}
 		// Tolerant mode must never error on content problems, only skip.
-		if _, _, err := readLogicalFile(path, maxReadPEs, true); err != nil {
+		if _, _, err := fuzzReadLogical(dir, true); err != nil {
 			t.Fatalf("tolerant read errored: %v", err)
 		}
-		recs, _, err := readLogicalFile(path, maxReadPEs, false)
+		recs, _, err := fuzzReadLogical(dir, false)
 		if err != nil {
 			return
 		}
@@ -38,12 +48,71 @@ func FuzzReadLogicalFile(f *testing.F) {
 		if err := s.writeLogical(dir, 0); err != nil {
 			t.Fatal(err)
 		}
-		again, _, err := readLogicalFile(path, maxReadPEs, false)
+		again, _, err := fuzzReadLogical(dir, false)
 		if err != nil {
 			t.Fatalf("re-reading rewritten file: %v", err)
 		}
 		if len(recs) != len(again) || (len(recs) > 0 && !reflect.DeepEqual(recs, again)) {
 			t.Fatalf("reparse changed records:\n%+v\nvs\n%+v", recs, again)
+		}
+	})
+}
+
+// FuzzBinaryLogicalShard throws arbitrary bytes at the APBF binary
+// decoder through the shard reader: truncated headers, bad version or
+// kind bytes, and torn block tails must never panic or allocate
+// unboundedly. Tolerant mode (how live .part files are read) must never
+// error; a successful strict parse must survive a binary
+// rewrite-and-reparse round trip.
+func FuzzBinaryLogicalShard(f *testing.F) {
+	valid := func() []byte {
+		dir := f.TempDir()
+		s := NewSet(Config{Logical: true, Format: FormatBinary}, 2, 2)
+		s.Logical[0] = []LogicalRecord{
+			{SrcNode: 0, SrcPE: 0, DstNode: 0, DstPE: 1, MsgSize: 8},
+			{SrcNode: 0, SrcPE: 0, DstNode: 0, DstPE: 0, MsgSize: 1 << 20},
+		}
+		s.Logical[1] = []LogicalRecord{{SrcPE: 1, DstPE: 0, MsgSize: 16}}
+		if err := s.WriteFiles(dir); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, logicalBinFile(0)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}()
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:4])                                               // magic only: truncated header
+	f.Add(valid[:6])                                               // no column count
+	f.Add(valid[:len(valid)-3])                                    // torn tail mid-block
+	f.Add(append([]byte{}, "APBF\xff\x01\x05"...))                 // bad version byte
+	f.Add(append([]byte{}, "APBF\x01\x09\x05"...))                 // bad kind byte
+	f.Add(append([]byte{}, "APBF\x01\x01\xff\xff\xff\xff\x0f"...)) // absurd column count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logicalBinFile(0)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fuzzReadLogical(dir, true); err != nil {
+			t.Fatalf("tolerant binary read errored: %v", err)
+		}
+		recs, _, err := fuzzReadLogical(dir, false)
+		if err != nil {
+			return
+		}
+		s := NewSet(Config{Logical: true, Format: FormatBinary}, 1, 1)
+		s.Logical[0] = recs
+		if err := s.WriteFiles(dir); err != nil {
+			t.Fatal(err)
+		}
+		again, _, err := fuzzReadLogical(dir, false)
+		if err != nil {
+			t.Fatalf("re-reading rewritten binary file: %v", err)
+		}
+		if len(recs) != len(again) || (len(recs) > 0 && !reflect.DeepEqual(recs, again)) {
+			t.Fatalf("binary reparse changed records:\n%+v\nvs\n%+v", recs, again)
 		}
 	})
 }
@@ -78,6 +147,7 @@ func FuzzReadSet(f *testing.F) {
 		for _, name := range []string{
 			"PE0_send.csv", "PE1_send.csv", "PE0_PAPI.csv", "PE1_PAPI.csv",
 			"overall.txt", "physical.txt", "segments.txt",
+			"PE0_send.bin", "PE0_PAPI.bin", "physical.PE0.part.bin",
 		} {
 			if err := os.WriteFile(filepath.Join(dirB, name), data, 0o644); err != nil {
 				t.Fatal(err)

@@ -25,6 +25,7 @@ import (
 
 	"actorprof/internal/conveyor"
 	"actorprof/internal/papi"
+	"actorprof/internal/stats"
 )
 
 // Config selects which traces a run collects.
@@ -52,6 +53,63 @@ type Config struct {
 	// This is the trace-size-management extension the paper lists as
 	// future work; totals-based analyses scale the counts back up.
 	LogicalSample int
+	// Format selects the on-disk representation WriteFiles and the
+	// streaming collector produce: the paper's CSV/text formats (the
+	// default), the compact binary columnar format, or both side by
+	// side. Readers auto-detect the format per file, so this only
+	// affects writers.
+	Format Format
+	// Aggregate folds records into per-(src,dst) matrices at collection
+	// time instead of materializing them: the collector keeps O(PEs^2)
+	// aggregate state (LogicalAgg, PhysicalAgg, PAPIAgg, MsgBytes)
+	// rather than O(records) slices. Heatmap/violin/overall analyses
+	// work unchanged; WriteFiles and per-record exports need raw
+	// records and refuse aggregated sets (combine with a StreamDir to
+	// keep the records on disk).
+	Aggregate bool
+}
+
+// Format selects the on-disk trace representation.
+type Format uint8
+
+const (
+	// FormatCSV writes the paper's text formats (PEi_send.csv,
+	// PEi_PAPI.csv, overall.txt, physical.txt, segments.txt).
+	FormatCSV Format = iota
+	// FormatBinary writes the compact binary columnar *.bin siblings
+	// (PEi_send.bin, ..., physical.bin) instead.
+	FormatBinary
+	// FormatBoth writes both representations.
+	FormatBoth
+)
+
+func (f Format) csv() bool    { return f == FormatCSV || f == FormatBoth }
+func (f Format) binary() bool { return f == FormatBinary || f == FormatBoth }
+
+// String names the format as the -format CLI flags spell it.
+func (f Format) String() string {
+	switch f {
+	case FormatCSV:
+		return "csv"
+	case FormatBinary:
+		return "binary"
+	case FormatBoth:
+		return "both"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// ParseFormat parses a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "csv", "":
+		return FormatCSV, nil
+	case "binary", "bin":
+		return FormatBinary, nil
+	case "both":
+		return FormatBoth, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (want csv, binary, or both)", s)
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +127,9 @@ func (c Config) Validate() error {
 	if len(c.PAPIEvents) > papi.MaxConcurrentEvents {
 		return fmt.Errorf("trace: %d PAPI events configured; PAPI allows at most %d",
 			len(c.PAPIEvents), papi.MaxConcurrentEvents)
+	}
+	if c.Format > FormatBoth {
+		return fmt.Errorf("trace: unknown trace format %d", c.Format)
 	}
 	return nil
 }
@@ -170,6 +231,24 @@ type Set struct {
 	// Segments[pe] holds PE pe's named user segments (segments.txt),
 	// sorted by name.
 	Segments [][]SegmentRecord
+
+	// Aggregate-mode state (Config.Aggregate): the collector folds
+	// records into these instead of the slices above. They are nil on
+	// sets read from disk or collected without Aggregate; the matrix
+	// accessors in analysis.go consult them when Config.Aggregate is
+	// set.
+
+	// LogicalAgg[src][dst] counts sampled logical sends (unscaled;
+	// LogicalMatrix applies the LogicalSample scale).
+	LogicalAgg Matrix
+	// PhysicalAgg[kind][src][dst] counts physical events per send kind.
+	PhysicalAgg map[conveyor.SendKind]Matrix
+	// PAPIAgg[ev][pe] sums PAPI counter ev over PE pe's records,
+	// parallel to Config.PAPIEvents.
+	PAPIAgg [][]int64
+	// MsgBytes accumulates logical payload-size statistics (streaming;
+	// aggregate mode cannot recover them from records).
+	MsgBytes stats.Stream
 }
 
 // NewSet allocates an empty set for npes PEs.
