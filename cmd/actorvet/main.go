@@ -6,7 +6,9 @@
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load errors. Findings can
 // be suppressed with //actorvet:ignore directives (see README.md,
-// "Static analysis").
+// "Static analysis"); -format selects text, json, or sarif output; -fix
+// applies the mechanical fixes some rules carry (rawoffset named
+// constants, escapingview copies).
 package main
 
 import (
@@ -27,10 +29,12 @@ func main() {
 func vetMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("actorvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (alias for -format json)")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	rules := fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
 	verbose := fs.Bool("v", false, "include fix hints in text output")
+	fix := fs.Bool("fix", false, "apply mechanical fixes for fixable findings, then report what remains")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: actorvet [flags] [package-dir|pattern ...]\n")
 		fmt.Fprintf(stderr, "patterns follow the go tool: a directory, or dir/... for the subtree (default ./...)\n\n")
@@ -61,20 +65,50 @@ func vetMain(args []string, stdout, stderr io.Writer) int {
 		analyzers = selected
 	}
 
+	var reporter analysis.Reporter
+	switch {
+	case *jsonOut || *format == "json":
+		reporter = analysis.JSONReporter{Indent: true}
+	case *format == "sarif":
+		reporter = analysis.SARIFReporter{}
+	case *format == "text":
+		reporter = analysis.TextReporter{Verbose: *verbose}
+	default:
+		fmt.Fprintf(stderr, "actorvet: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(patterns)
+	prog, err := analysis.Load(patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "actorvet: %v\n", err)
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	var reporter analysis.Reporter = analysis.TextReporter{Verbose: *verbose}
-	if *jsonOut {
-		reporter = analysis.JSONReporter{Indent: true}
+	diags := analysis.Run(prog, analyzers)
+	if *fix {
+		fixed, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "actorvet: %v\n", err)
+			return 2
+		}
+		for _, f := range fixed {
+			fmt.Fprintf(stderr, "actorvet: fixed %s\n", f)
+		}
+		if len(fixed) > 0 {
+			// Re-analyze: the report should describe what is left, and a
+			// fix that does not make its finding go away is a bug we want
+			// loud.
+			prog, err = analysis.Load(patterns)
+			if err != nil {
+				fmt.Fprintf(stderr, "actorvet: reloading after fix: %v\n", err)
+				return 2
+			}
+			diags = analysis.Run(prog, analyzers)
+		}
 	}
 	if err := reporter.Report(stdout, diags); err != nil {
 		fmt.Fprintf(stderr, "actorvet: %v\n", err)

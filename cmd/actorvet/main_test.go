@@ -9,6 +9,23 @@ import (
 
 const fixtureRoot = "../../internal/analysis/testdata/src"
 
+// allRules is the full shipped suite, mirrored here so the CLI tests
+// fail loudly if a rule is dropped from the registry.
+var allRules = []string{
+	"blockinghandler", "divergedcollective", "escapingview", "rawoffset",
+	"sendafterdone", "sharedhandlerstate", "stalestaging", "unpairedregion",
+}
+
+// fixtureFor maps a rule to its fixture directory. stalestaging is
+// path-scoped to packages ending in internal/shmem, so its fixture
+// nests.
+func fixtureFor(rule string) string {
+	if rule == "stalestaging" {
+		return filepath.Join(fixtureRoot, "stalestaging", "internal", "shmem")
+	}
+	return filepath.Join(fixtureRoot, rule)
+}
+
 func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errb strings.Builder
@@ -19,12 +36,9 @@ func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
 // TestFixturesExitNonZero runs the CLI over every known-bad fixture and
 // asserts exit code 1 with the right rule ID in the output.
 func TestFixturesExitNonZero(t *testing.T) {
-	for _, rule := range []string{
-		"blockinghandler", "divergedcollective", "rawoffset",
-		"sendafterdone", "unpairedregion",
-	} {
+	for _, rule := range allRules {
 		t.Run(rule, func(t *testing.T) {
-			code, stdout, stderr := runVet(t, filepath.Join(fixtureRoot, rule))
+			code, stdout, stderr := runVet(t, fixtureFor(rule))
 			if code != 1 {
 				t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr)
 			}
@@ -49,29 +63,79 @@ func TestCleanExitsZero(t *testing.T) {
 	}
 }
 
-// TestJSONOutput asserts -json emits a decodable document.
+// TestJSONOutput asserts -json and -format json emit the same decodable
+// document.
 func TestJSONOutput(t *testing.T) {
-	code, stdout, _ := runVet(t, "-json", filepath.Join(fixtureRoot, "rawoffset"))
+	for _, args := range [][]string{
+		{"-json", filepath.Join(fixtureRoot, "rawoffset")},
+		{"-format", "json", filepath.Join(fixtureRoot, "rawoffset")},
+	} {
+		code, stdout, _ := runVet(t, args...)
+		if code != 1 {
+			t.Fatalf("%v: exit = %d, want 1", args, code)
+		}
+		var doc struct {
+			Count    int `json:"count"`
+			Findings []struct {
+				Rule string `json:"rule"`
+				Line int    `json:"line"`
+			} `json:"findings"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+			t.Fatalf("%v output invalid: %v\n%s", args, err, stdout)
+		}
+		if doc.Count != 4 || len(doc.Findings) != 4 {
+			t.Fatalf("count = %d (%d findings), want 4", doc.Count, len(doc.Findings))
+		}
+		for _, f := range doc.Findings {
+			if f.Rule != "rawoffset" {
+				t.Errorf("unexpected rule %s", f.Rule)
+			}
+		}
+	}
+}
+
+// TestSARIFOutput asserts -format sarif emits a SARIF 2.1.0 run that
+// code scanning can ingest.
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := runVet(t, "-format", "sarif", filepath.Join(fixtureRoot, "escapingview"))
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1", code)
 	}
 	var doc struct {
-		Count    int `json:"count"`
-		Findings []struct {
-			Rule string `json:"rule"`
-			Line int    `json:"line"`
-		} `json:"findings"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
 	}
 	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
-		t.Fatalf("-json output invalid: %v\n%s", err, stdout)
+		t.Fatalf("sarif output invalid: %v\n%s", err, stdout)
 	}
-	if doc.Count != 4 || len(doc.Findings) != 4 {
-		t.Fatalf("count = %d (%d findings), want 4", doc.Count, len(doc.Findings))
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "actorvet" {
+		t.Fatalf("unexpected sarif shape:\n%s", stdout)
 	}
-	for _, f := range doc.Findings {
-		if f.Rule != "rawoffset" {
-			t.Errorf("unexpected rule %s", f.Rule)
+	if len(doc.Runs[0].Results) == 0 {
+		t.Fatal("sarif run carries no results")
+	}
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID != "escapingview" {
+			t.Errorf("unexpected rule %s", r.RuleID)
 		}
+	}
+}
+
+// TestUnknownFormatExitsTwo asserts -format validation is a usage error.
+func TestUnknownFormatExitsTwo(t *testing.T) {
+	code, _, stderr := runVet(t, "-format", "xml", ".")
+	if code != 2 || !strings.Contains(stderr, "unknown format") {
+		t.Fatalf("exit = %d, stderr = %q; want 2 with unknown-format message", code, stderr)
 	}
 }
 
@@ -89,16 +153,13 @@ func TestRuleFilter(t *testing.T) {
 	}
 }
 
-// TestListRules asserts -list names all five analyzers.
+// TestListRules asserts -list names all eight analyzers.
 func TestListRules(t *testing.T) {
 	code, stdout, _ := runVet(t, "-list")
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, rule := range []string{
-		"blockinghandler", "divergedcollective", "rawoffset",
-		"sendafterdone", "unpairedregion",
-	} {
+	for _, rule := range allRules {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-list missing %s:\n%s", rule, stdout)
 		}

@@ -29,6 +29,15 @@ func HandlerUnsafeMethods() []string {
 	return []string{"Finish", "Advance"}
 }
 
+// ProgressMethods returns the names of *Selector methods that drive (or
+// ride on) conveyor progress underneath: each may trigger a buffer
+// exchange that recycles the storage behind borrowed conveyor views, so
+// the escapingview analyzer treats them as lifetime boundaries exactly
+// like the conveyor's own progress methods.
+func ProgressMethods() []string {
+	return []string{"Send", "Progress", "Done", "DoneAll"}
+}
+
 // PairedMethods returns *Runtime method-name pairs (opener -> closer)
 // whose calls must balance within a function: a Pause without a matching
 // Resume silently discards the rest of the run's trace, leaving holes

@@ -6,13 +6,18 @@
 // convention — and whose violations the ActorProf paper can only show
 // after the fact, as corrupted MAIN/PROC/COMM profiles or hung runs.
 //
-// The framework loads packages from go-style patterns (./...), runs a
-// suite of Analyzers over each package's syntax (with best-effort type
-// information), collects position-tagged Diagnostics, honors
-// //actorvet:ignore suppression directives, and renders text or JSON
-// reports. The five shipped analyzers are listed by DefaultAnalyzers;
-// each one's Doc explains the invariant and ties it to the paper's
-// region semantics (see DESIGN.md "FA-BSP invariants").
+// The framework loads whole programs from go-style patterns (./...):
+// every requested package plus its module-internal dependency closure is
+// type-checked in dependency order against a shared types.Info, so
+// analyzers see real cross-package objects in Uses/Defs/Selections —
+// never stubs. On top of the loader sit a call graph, interprocedural
+// dataflow summaries, and a per-function taint engine that the lifetime
+// rules (escapingview, stalestaging) consume. Run collects
+// position-tagged Diagnostics, honors //actorvet:ignore suppression
+// directives (validating them, and warning when they suppress nothing),
+// and the reporters render text, JSON, or SARIF. The shipped analyzers
+// are listed by DefaultAnalyzers; each one's Doc explains the invariant
+// and ties it to the paper's region semantics (see DESIGN.md §11).
 package analysis
 
 import (
@@ -47,6 +52,9 @@ type Diagnostic struct {
 	Message string `json:"message"`
 	// Fix, when non-empty, hints at the remedy.
 	Fix string `json:"fix,omitempty"`
+	// Edits, when non-empty, is a mechanical fix applied by -fix mode.
+	// Excluded from JSON: reports describe findings, not patches.
+	Edits []TextEdit `json:"-"`
 }
 
 // Position renders the file:line:col prefix.
@@ -68,6 +76,10 @@ type Analyzer interface {
 type Pass struct {
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Prog is the whole program the package was loaded into: the full
+	// dependency closure, shared type info, call graph, and
+	// interprocedural summaries.
+	Prog *Program
 
 	analyzer Analyzer
 	severity Severity
@@ -76,6 +88,11 @@ type Pass struct {
 
 // Report records a finding at pos with a fix hint (may be empty).
 func (p *Pass) Report(pos token.Pos, fix, format string, args ...any) {
+	p.ReportWithEdits(pos, fix, nil, format, args...)
+}
+
+// ReportWithEdits records a finding carrying a mechanical fix.
+func (p *Pass) ReportWithEdits(pos token.Pos, fix string, edits []TextEdit, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	p.sink(Diagnostic{
 		Rule:     p.analyzer.Name(),
@@ -85,5 +102,6 @@ func (p *Pass) Report(pos token.Pos, fix, format string, args ...any) {
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
 		Fix:      fix,
+		Edits:    edits,
 	})
 }

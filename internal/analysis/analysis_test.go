@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // loc is an expected finding position within a fixture's bad.go.
@@ -13,22 +15,34 @@ type loc struct{ line, col int }
 // documents the directive placement relative to them).
 var analyzerGolden = map[string][]loc{
 	"divergedcollective": {{13, 3}, {21, 12}, {28, 10}, {36, 14}, {43, 3}},
-	"blockinghandler":    {{11, 3}, {12, 3}, {23, 2}, {28, 3}},
+	"blockinghandler":    {{12, 3}, {13, 3}, {24, 2}, {29, 3}},
 	"sendafterdone":      {{11, 2}, {16, 2}, {21, 2}, {27, 3}},
 	"unpairedregion":     {{12, 2}, {24, 2}, {41, 9}, {46, 2}, {47, 6}},
 	"rawoffset":          {{7, 17}, {8, 23}, {9, 21}, {10, 32}},
+	"escapingview":       {{18, 2}, {23, 3}, {29, 10}, {39, 7}, {49, 9}, {58, 9}, {65, 9}, {77, 9}},
+	"sharedhandlerstate": {{21, 4}, {22, 4}, {34, 2}},
+	"stalestaging":       {{8, 9}, {15, 2}, {22, 9}},
 }
 
-func loadFixture(t *testing.T, name string) []*Package {
+// fixtureDir returns the fixture directory for a rule. stalestaging is
+// path-scoped to packages ending in internal/shmem, so its fixture nests.
+func fixtureDir(rule string) string {
+	if rule == "stalestaging" {
+		return filepath.Join("stalestaging", "internal", "shmem")
+	}
+	return rule
+}
+
+func loadFixture(t *testing.T, dir string) *Program {
 	t.Helper()
-	pkgs, err := Load([]string{filepath.Join("testdata", "src", name)})
+	prog, err := Load([]string{filepath.Join("testdata", "src", dir)})
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", name, err)
+		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	if len(prog.Packages) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(prog.Packages))
 	}
-	return pkgs
+	return prog
 }
 
 // TestAnalyzerGolden runs each analyzer alone over its known-bad fixture
@@ -40,9 +54,9 @@ func TestAnalyzerGolden(t *testing.T) {
 			if a == nil {
 				t.Fatalf("no analyzer named %s", rule)
 			}
-			pkgs := loadFixture(t, rule)
-			diags := Run(pkgs, []Analyzer{a})
-			wantFile := filepath.Join("testdata", "src", rule, "bad.go")
+			prog := loadFixture(t, fixtureDir(rule))
+			diags := Run(prog, []Analyzer{a})
+			wantFile := filepath.Join("testdata", "src", fixtureDir(rule), "bad.go")
 			if len(diags) != len(want) {
 				t.Fatalf("got %d findings, want %d: %+v", len(diags), len(want), diags)
 			}
@@ -71,7 +85,7 @@ func TestAnalyzerGolden(t *testing.T) {
 func TestFullSuiteOnFixtures(t *testing.T) {
 	for rule, want := range analyzerGolden {
 		t.Run(rule, func(t *testing.T) {
-			diags := Run(loadFixture(t, rule), DefaultAnalyzers())
+			diags := Run(loadFixture(t, fixtureDir(rule)), DefaultAnalyzers())
 			if len(diags) != len(want) {
 				t.Fatalf("full suite: got %d findings, want %d: %+v", len(diags), len(want), diags)
 			}
@@ -91,62 +105,198 @@ func TestCleanFixture(t *testing.T) {
 	}
 }
 
-// TestIgnoreDirectives asserts the three suppression forms work and a
-// mismatched rule name does not over-suppress.
+// TestIgnoreDirectives asserts the three suppression forms work, a
+// mismatched rule name does not over-suppress, and that same mismatched
+// directive — which therefore suppressed nothing — is itself reported
+// stale.
 func TestIgnoreDirectives(t *testing.T) {
 	diags := Run(loadFixture(t, "ignored"), DefaultAnalyzers())
-	if len(diags) != 1 {
-		t.Fatalf("got %d findings, want exactly the unsuppressed one: %+v", len(diags), diags)
+	want := []struct {
+		rule string
+		at   loc
+	}{
+		{"divergedcollective", loc{27, 3}},
+		{"staleignore", loc{27, 16}},
 	}
-	d := diags[0]
-	if d.Rule != "divergedcollective" || d.Line != 27 || d.Col != 3 {
-		t.Fatalf("surviving finding = %s at %d:%d, want divergedcollective at 27:3", d.Rule, d.Line, d.Col)
+	if len(diags) != len(want) {
+		t.Fatalf("got %d findings, want %d: %+v", len(diags), len(want), diags)
+	}
+	for i, d := range diags {
+		if d.Rule != want[i].rule || d.Line != want[i].at.line || d.Col != want[i].at.col {
+			t.Errorf("finding %d = %s at %d:%d, want %s at %d:%d",
+				i, d.Rule, d.Line, d.Col, want[i].rule, want[i].at.line, want[i].at.col)
+		}
 	}
 }
 
-// TestSeverities pins the severity split: deadlock rules are errors,
-// discipline rules are warnings.
+// TestDirectiveEdgeCases pins the directive checker's behavior: a
+// directive above a multi-line statement covers its whole extent, a
+// directive above a block suppresses findings inside it, an unknown rule
+// name is a loud baddirective error (and suppresses nothing), and
+// directives that suppress nothing are staleignore warnings.
+func TestDirectiveEdgeCases(t *testing.T) {
+	diags := Run(loadFixture(t, "directives"), DefaultAnalyzers())
+	want := []struct {
+		rule string
+		at   loc
+		sev  Severity
+	}{
+		{"divergedcollective", loc{23, 3}, SeverityError}, // unknown-rule directive must not suppress
+		{"baddirective", loc{23, 16}, SeverityError},
+		{"staleignore", loc{28, 25}, SeverityWarning},
+		{"staleignore", loc{32, 13}, SeverityWarning},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d findings, want %d: %+v", len(diags), len(want), diags)
+	}
+	for i, d := range diags {
+		if d.Rule != want[i].rule || d.Line != want[i].at.line || d.Col != want[i].at.col || d.Severity != want[i].sev {
+			t.Errorf("finding %d = %s(%s) at %d:%d, want %s(%s) at %d:%d",
+				i, d.Rule, d.Severity, d.Line, d.Col, want[i].rule, want[i].sev, want[i].at.line, want[i].at.col)
+		}
+	}
+}
+
+// TestStaleIgnoreNotJudgedUnderFilter asserts a -rules style filtered
+// run does not falsely call directives for inactive rules stale.
+func TestStaleIgnoreNotJudgedUnderFilter(t *testing.T) {
+	prog := loadFixture(t, "directives")
+	diags := Run(prog, []Analyzer{AnalyzerByName("divergedcollective")})
+	for _, d := range diags {
+		if d.Rule == "staleignore" {
+			t.Errorf("filtered run judged a directive stale: %s at %s", d.Message, d.Position())
+		}
+	}
+}
+
+// TestSeverities pins the severity split: rules whose violations
+// deadlock or corrupt data are errors, discipline rules are warnings.
 func TestSeverities(t *testing.T) {
 	want := map[string]Severity{
 		"divergedcollective": SeverityError,
 		"blockinghandler":    SeverityError,
 		"sendafterdone":      SeverityError,
+		"escapingview":       SeverityError,
+		"stalestaging":       SeverityError,
+		"sharedhandlerstate": SeverityError,
 		"unpairedregion":     SeverityWarning,
 		"rawoffset":          SeverityWarning,
+	}
+	if len(DefaultAnalyzers()) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(DefaultAnalyzers()), len(want))
 	}
 	for _, a := range DefaultAnalyzers() {
 		if got := severityOf(a); got != want[a.Name()] {
 			t.Errorf("%s: severity %s, want %s", a.Name(), got, want[a.Name()])
 		}
 	}
+	if severityLevels[ruleBadDirective] != SeverityError {
+		t.Errorf("baddirective severity = %s, want error", severityLevels[ruleBadDirective])
+	}
+	if severityLevels[ruleStaleIgnore] != SeverityWarning {
+		t.Errorf("staleignore severity = %s, want warning", severityLevels[ruleStaleIgnore])
+	}
 }
 
 // TestLoadPatterns covers the loader's go-tool pattern semantics.
 func TestLoadPatterns(t *testing.T) {
 	// ./... from this package skips testdata, finding only the package
-	// itself.
-	pkgs, err := Load([]string{"./..."})
+	// itself as requested; its module-internal imports load as
+	// dependencies.
+	prog, err := Load([]string{"./..."})
 	if err != nil {
 		t.Fatalf("Load ./...: %v", err)
 	}
-	if len(pkgs) != 1 || pkgs[0].Name != "analysis" {
-		t.Fatalf("Load ./... = %d packages (first %q), want just analysis", len(pkgs), pkgs[0].Name)
+	if len(prog.Packages) != 1 || prog.Packages[0].Name != "analysis" {
+		t.Fatalf("Load ./... = %d requested packages (first %q), want just analysis",
+			len(prog.Packages), prog.Packages[0].Name)
 	}
-	if pkgs[0].Path != "actorprof/internal/analysis" {
-		t.Errorf("import path = %q, want actorprof/internal/analysis", pkgs[0].Path)
+	if prog.Packages[0].Path != "actorprof/internal/analysis" {
+		t.Errorf("import path = %q, want actorprof/internal/analysis", prog.Packages[0].Path)
+	}
+	if len(prog.All) <= len(prog.Packages) {
+		t.Errorf("dependency closure did not grow: %d packages in All", len(prog.All))
 	}
 
-	// An explicit testdata subtree loads all fixtures.
-	pkgs, err = Load([]string{filepath.Join("testdata", "src") + "/..."})
+	// An explicit testdata subtree loads all fixtures (stalestaging
+	// contributes its nested internal/shmem package; directives, clean,
+	// and ignored ride along).
+	prog, err = Load([]string{filepath.Join("testdata", "src") + "/..."})
 	if err != nil {
 		t.Fatalf("Load testdata/src/...: %v", err)
 	}
-	if len(pkgs) != len(analyzerGolden)+2 { // five bad + clean + ignored
-		t.Fatalf("got %d fixture packages, want %d", len(pkgs), len(analyzerGolden)+2)
+	if want := len(analyzerGolden) + 3; len(prog.Packages) != want {
+		t.Fatalf("got %d fixture packages, want %d", len(prog.Packages), want)
 	}
 
 	// Naming a Go-free directory explicitly is an error.
 	if _, err := Load([]string{filepath.Join("testdata", "src")}); err == nil {
 		t.Fatal("Load of a directory without Go files should fail")
 	}
+}
+
+// TestLoaderCrossPackageTypeInfo asserts the loader produces real,
+// complete cross-package type information: fixture selectors resolve to
+// objects of the actual runtime packages, never stubs.
+func TestLoaderCrossPackageTypeInfo(t *testing.T) {
+	prog := loadFixture(t, "blockinghandler")
+	shmemPkg := prog.PackageOf("actorprof/internal/shmem")
+	if shmemPkg == nil {
+		t.Fatal("dependency actorprof/internal/shmem was not loaded")
+	}
+	if shmemPkg.Types == nil || !shmemPkg.Types.Complete() {
+		t.Fatal("shmem dependency is not a completely type-checked package")
+	}
+	if shmemPkg.Types.Scope().Lookup("PE") == nil {
+		t.Fatal("shmem.PE not found in the dependency's scope")
+	}
+	// Every method selection in the fixture must resolve to a *types.Func
+	// with a real defining package.
+	resolved := 0
+	for _, sel := range prog.Packages[0].Info.Selections {
+		if sel.Obj() != nil && sel.Obj().Pkg() != nil {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("no resolved selections in fixture type info")
+	}
+}
+
+// TestLoadRejectsBrokenPackage asserts the loader is strict: a package
+// that does not type-check is an error, not a silently half-analyzed
+// package.
+func TestLoadRejectsBrokenPackage(t *testing.T) {
+	dir, err := os.MkdirTemp("testdata", "broken-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	src := "package broken\n\nfunc f() { undefinedSymbol() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load([]string{dir}); err == nil {
+		t.Fatal("Load of a non-type-checking package should fail")
+	}
+}
+
+// TestWholeRepoAnalysisBudget runs the complete suite over the whole
+// repository and asserts (a) the repo is actorvet-clean and (b) the
+// whole-program analysis fits the 10-second budget the CI gate enforces.
+func TestWholeRepoAnalysisBudget(t *testing.T) {
+	start := time.Now()
+	prog, err := Load([]string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatalf("loading whole repo: %v", err)
+	}
+	diags := Run(prog, DefaultAnalyzers())
+	elapsed := time.Since(start)
+	for _, d := range diags {
+		t.Errorf("repo is not actorvet-clean: %s: %s [%s]", d.Position(), d.Message, d.Rule)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("whole-repo analysis took %v, budget is 10s", elapsed)
+	}
+	t.Logf("whole-repo analysis: %d packages in %v", len(prog.Packages), elapsed)
 }

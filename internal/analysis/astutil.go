@@ -2,8 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/types"
-	"strconv"
 	"strings"
 )
 
@@ -26,41 +24,6 @@ func callee(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
 		}
 	}
 	return nil, "", false
-}
-
-// qualifierPath resolves recv as a package qualifier and returns the
-// imported package's path. It prefers type information (Info.Uses maps
-// the qualifier ident to a *types.PkgName) and falls back to matching
-// the file's imports by name, so it works even where type checking gave
-// up. Returns "" when recv is not a package qualifier.
-func qualifierPath(pkg *Package, file *ast.File, recv ast.Expr) string {
-	id, ok := unparen(recv).(*ast.Ident)
-	if !ok {
-		return ""
-	}
-	if obj, found := pkg.Info.Uses[id]; found {
-		if pn, isPkg := obj.(*types.PkgName); isPkg {
-			return pn.Imported().Path()
-		}
-		return "" // resolved to a variable/const/etc, not a package
-	}
-	for _, imp := range file.Imports {
-		path, err := strconv.Unquote(imp.Path.Value)
-		if err != nil {
-			continue
-		}
-		name := path
-		if i := strings.LastIndex(name, "/"); i >= 0 {
-			name = name[i+1:]
-		}
-		if imp.Name != nil {
-			name = imp.Name.Name
-		}
-		if name == id.Name {
-			return path
-		}
-	}
-	return ""
 }
 
 // pathHasSuffix reports whether an import path is pkg or ends in /pkg —
@@ -123,22 +86,6 @@ func funcBodies(f *ast.File, walkLits bool, visit func(ft *ast.FuncType, body *a
 			return true
 		})
 	}
-}
-
-// containsCall reports whether expr contains a call to a method named
-// name (on any receiver).
-func containsCall(expr ast.Node, name string) bool {
-	found := false
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if _, callName, nameOK := callee(call); nameOK && callName == name {
-				found = true
-				return false
-			}
-		}
-		return !found
-	})
-	return found
 }
 
 // unparen strips parentheses from an expression (ast.Unparen arrived in

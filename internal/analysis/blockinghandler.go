@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 
 	"actorprof/internal/actor"
 	"actorprof/internal/shmem"
@@ -27,46 +28,36 @@ func (BlockingHandler) Doc() string {
 
 const blockingFix = "move the blocking call out of the handler into the MAIN segment (before Done) or restructure with an extra mailbox; handlers may only compute and Send"
 
-// handlerBlockedCalls is the union of call names a handler must not make.
-func handlerBlockedCalls() map[string]bool {
-	set := make(map[string]bool)
-	for _, m := range shmem.BlockingMethods() {
-		set[m] = true
+// isBlockedInHandler reports whether fn — a resolved callee — must not
+// run inside a handler, per the runtime packages' vet contracts.
+func isBlockedInHandler(fn *types.Func, blockingShmem, unsafeActor map[string]bool) bool {
+	switch {
+	case funcIn(fn, pkgShmem, blockingShmem):
+		return true // barriers, collectives, wait-untils (PE and Int64Array)
+	case funcIn(fn, pkgShmem, nameSet(shmem.CollectiveFuncs())):
+		return true // AllocInt64Array blocks in Malloc's barrier
+	case funcIn(fn, pkgActor, unsafeActor):
+		return true // Runtime.Finish re-enters the progress loop
+	case funcIn(fn, pkgConveyor, unsafeActor):
+		return true // Conveyor.Advance is the progress loop
 	}
-	for _, m := range actor.HandlerUnsafeMethods() {
-		set[m] = true
-	}
-	for _, fn := range shmem.CollectiveFuncs() {
-		set[fn] = true // AllocInt64Array blocks in Malloc's barrier
-	}
-	// Int64Array.WaitUntil wraps WaitUntilInt64; same spin, same deadlock.
-	set["WaitUntil"] = true
-	return set
+	return false
 }
 
 // Run implements Analyzer.
 func (a BlockingHandler) Run(pass *Pass) {
-	blocked := handlerBlockedCalls()
+	cg, _ := pass.Prog.facts()
+	blockingShmem := nameSet(shmem.BlockingMethods())
+	unsafeActor := nameSet(actor.HandlerUnsafeMethods())
+	info := pass.Pkg.Info
 	for _, file := range pass.Pkg.Files {
-		// Map handler functions declared as named functions in this file,
-		// so Process(0, handleMsg) can be traced to handleMsg's body.
-		decls := make(map[string]*ast.FuncDecl)
-		for _, d := range file.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
-				decls[fd.Name.Name] = fd
-			}
-		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			recv, name, ok := callee(call)
-			if !ok || recv == nil || name != "Process" || len(call.Args) != 2 {
-				return true
-			}
-			// Process as a package-qualified function is something else.
-			if qualifierPath(pass.Pkg, file, recv) != "" {
+			fn := calleeFunc(info, call)
+			if !isMethodOn(fn, pkgActor, "Selector", "Process") || len(call.Args) != 2 {
 				return true
 			}
 			var body *ast.BlockStmt
@@ -74,14 +65,18 @@ func (a BlockingHandler) Run(pass *Pass) {
 			case *ast.FuncLit:
 				body = h.Body
 			case *ast.Ident:
-				if fd := decls[h.Name]; fd != nil {
-					body = fd.Body
+				// Named handler: resolve through the call graph, which spans
+				// the whole program (cross-file and cross-package alike).
+				if hf, ok := info.Uses[h].(*types.Func); ok {
+					if node := cg.nodeOf(hf); node != nil {
+						body = node.decl.Body
+					}
 				}
 			}
 			if body == nil {
 				return true
 			}
-			a.checkHandler(pass, body, blocked)
+			a.checkHandler(pass, body, blockingShmem, unsafeActor)
 			return true
 		})
 	}
@@ -89,20 +84,21 @@ func (a BlockingHandler) Run(pass *Pass) {
 
 // checkHandler reports blocking calls anywhere inside the handler body,
 // including closures it defines (they run on the same goroutine).
-func (a BlockingHandler) checkHandler(pass *Pass, body *ast.BlockStmt, blocked map[string]bool) {
+func (a BlockingHandler) checkHandler(pass *Pass, body *ast.BlockStmt, blockingShmem, unsafeActor map[string]bool) {
+	info := pass.Pkg.Info
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		recv, name, ok := callee(call)
-		if !ok || !blocked[name] {
+		fn := calleeFunc(info, call)
+		if fn == nil || !isBlockedInHandler(fn, blockingShmem, unsafeActor) {
 			return true
 		}
-		label := name
-		if recv != nil {
+		label := fn.Name()
+		if recv, _, ok := callee(call); ok && recv != nil {
 			if key := exprKey(recv); key != "" {
-				label = key + "." + name
+				label = key + "." + fn.Name()
 			}
 		}
 		pass.Report(call.Pos(), blockingFix,

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph maps declared functions and methods (by their origin
+// *types.Func) to their syntax, across every package of the program —
+// requested and dependency alike — so the dataflow engine can follow a
+// call from any analyzed package into the function it actually invokes.
+//
+// Resolution is static: direct calls to named functions and methods on
+// concrete receivers. Calls through function values, struct fields, and
+// interfaces stay unresolved; the analyzers treat unresolved calls
+// optimistically (no escape, no progress) rather than drowning every
+// finding in may-alias noise — the same trade TASKPROF makes in favor of
+// pinpointed causes.
+type callGraph struct {
+	funcs map[*types.Func]*funcNode
+}
+
+// funcNode is one declared function or method.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// buildCallGraph indexes every function declaration in the program.
+func buildCallGraph(prog *Program) *callGraph {
+	cg := &callGraph{funcs: make(map[*types.Func]*funcNode)}
+	for _, pkg := range prog.All {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := prog.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				cg.funcs[obj.Origin()] = &funcNode{obj: obj.Origin(), decl: fd, pkg: pkg}
+			}
+		}
+	}
+	return cg
+}
+
+// nodeOf returns the declaration node for a resolved callee, or nil for
+// functions outside the loaded program (stdlib) or unresolved calls.
+func (cg *callGraph) nodeOf(fn *types.Func) *funcNode {
+	if fn == nil {
+		return nil
+	}
+	return cg.funcs[fn.Origin()]
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 
 	"actorprof/internal/actor"
 	"actorprof/internal/shmem"
@@ -28,45 +29,38 @@ func (DivergedCollective) Doc() string {
 
 const divergedFix = "hoist the collective out of the rank-dependent control flow so every PE executes it, or guard it with //actorvet:ignore and a justification"
 
-// collectiveMethodSet is the union of method names that are collective on
-// their receiver, regardless of receiver type.
-func collectiveMethodSet() map[string]bool {
-	set := make(map[string]bool)
-	for _, m := range shmem.CollectiveMethods() {
-		set[m] = true
+// isCollectiveCall reports whether fn — a resolved callee — is a
+// collective entry point, per the runtime packages' vet contracts:
+// *PE collectives and Runtime.Finish as methods, plus the symmetric
+// allocators and collector constructors as package-level functions.
+func isCollectiveCall(fn *types.Func, shmemMethods, actorMethods map[string]bool) bool {
+	switch {
+	case funcIn(fn, pkgShmem, shmemMethods) && recvNamed(fn) != nil:
+		return true
+	case funcIn(fn, pkgActor, actorMethods) && recvNamed(fn) != nil:
+		return true
+	case funcIn(fn, pkgShmem, nameSet(shmem.CollectiveFuncs())) && recvNamed(fn) == nil:
+		return true
+	case funcIn(fn, pkgActor, nameSet(actor.CollectiveFuncs())) && recvNamed(fn) == nil:
+		return true
+	case funcIn(fn, pkgTrace, nameSet(trace.CollectiveFuncs())) && recvNamed(fn) == nil:
+		return true
 	}
-	for _, m := range actor.CollectiveMethods() {
-		set[m] = true
-	}
-	return set
-}
-
-// collectiveFuncSuffixes maps package-path suffixes to the package-level
-// collective constructors exported by that package.
-func collectiveFuncSuffixes() map[string][]string {
-	return map[string][]string{
-		"internal/shmem": shmem.CollectiveFuncs(),
-		"shmem":          shmem.CollectiveFuncs(),
-		"internal/actor": actor.CollectiveFuncs(),
-		"actor":          actor.CollectiveFuncs(),
-		"internal/trace": trace.CollectiveFuncs(),
-		"trace":          trace.CollectiveFuncs(),
-	}
+	return false
 }
 
 // Run implements Analyzer.
 func (a DivergedCollective) Run(pass *Pass) {
-	methods := collectiveMethodSet()
-	funcs := collectiveFuncSuffixes()
+	shmemMethods := nameSet(shmem.CollectiveMethods())
+	actorMethods := nameSet(actor.CollectiveMethods())
 	for _, file := range pass.Pkg.Files {
 		funcBodies(file, false, func(ft *ast.FuncType, body *ast.BlockStmt) {
 			w := &divergenceWalker{
-				pass:    pass,
-				file:    file,
-				methods: methods,
-				funcs:   funcs,
-				tainted: rankTaint(body),
+				pass:         pass,
+				shmemMethods: shmemMethods,
+				actorMethods: actorMethods,
 			}
+			w.tainted = w.rankTaint(body)
 			w.walkBlock(body, false)
 		})
 	}
@@ -76,11 +70,10 @@ func (a DivergedCollective) Run(pass *Pass) {
 // executing inline at their lexical position) tracking whether control
 // flow has diverged on rank.
 type divergenceWalker struct {
-	pass    *Pass
-	file    *ast.File
-	methods map[string]bool
-	funcs   map[string][]string
-	tainted map[string]bool
+	pass         *Pass
+	shmemMethods map[string]bool
+	actorMethods map[string]bool
+	tainted      map[string]bool
 }
 
 func (w *divergenceWalker) walkBlock(b *ast.BlockStmt, div bool) {
@@ -187,55 +180,17 @@ func (w *divergenceWalker) scan(n ast.Node, div bool) {
 
 // checkCall reports node when it is a collective entry point.
 func (w *divergenceWalker) checkCall(call *ast.CallExpr) {
-	recv, name, ok := callee(call)
-	if !ok {
+	fn := calleeFunc(w.pass.Pkg.Info, call)
+	if fn == nil || !isCollectiveCall(fn, w.shmemMethods, w.actorMethods) {
 		return
 	}
-	if recv == nil {
-		// Dot-imported or package-local helper named like a collective
-		// constructor still counts inside the defining package itself.
-		if w.ownCollectiveFunc(name) {
-			w.report(call.Pos(), name)
-		}
-		return
-	}
-	if path := qualifierPath(w.pass.Pkg, w.file, recv); path != "" {
-		for suffix, names := range w.funcs {
-			if !pathHasSuffix(path, suffix) {
-				continue
-			}
-			for _, fn := range names {
-				if fn == name {
-					w.report(call.Pos(), exprKey(recv)+"."+name)
-					return
-				}
-			}
-		}
-		return
-	}
-	if w.methods[name] {
-		label := name
+	label := fn.Name()
+	if recv, _, ok := callee(call); ok && recv != nil {
 		if key := exprKey(recv); key != "" {
-			label = key + "." + name
-		}
-		w.report(call.Pos(), label)
-	}
-}
-
-// ownCollectiveFunc reports whether name is one of this package's own
-// collective constructors (relevant when analyzing internal/shmem etc.
-// themselves).
-func (w *divergenceWalker) ownCollectiveFunc(name string) bool {
-	for suffix, names := range w.funcs {
-		if pathHasSuffix(w.pass.Pkg.Path, suffix) {
-			for _, fn := range names {
-				if fn == name {
-					return true
-				}
-			}
+			label = key + "." + fn.Name()
 		}
 	}
-	return false
+	w.report(call.Pos(), label)
 }
 
 func (w *divergenceWalker) report(pos token.Pos, label string) {
@@ -251,7 +206,7 @@ func (w *divergenceWalker) rankDep(expr ast.Expr) bool {
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isRankSource(n) {
+			if w.isRankSource(n) {
 				dep = true
 			}
 		case *ast.Ident:
@@ -264,21 +219,20 @@ func (w *divergenceWalker) rankDep(expr ast.Expr) bool {
 	return dep
 }
 
-// isRankSource reports whether call is pe.Rank() or pe.Node() — the two
-// zero-argument accessors that differ across PEs.
-func isRankSource(call *ast.CallExpr) bool {
-	recv, name, ok := callee(call)
-	if !ok || recv == nil || len(call.Args) != 0 {
-		return false
-	}
-	return name == "Rank" || name == "Node"
+// isRankSource reports whether call is shmem's PE.Rank() or PE.Node() —
+// the two accessors that differ across PEs.
+func (w *divergenceWalker) isRankSource(call *ast.CallExpr) bool {
+	fn := calleeFunc(w.pass.Pkg.Info, call)
+	return isMethodOn(fn, pkgShmem, "PE", "Rank") || isMethodOn(fn, pkgShmem, "PE", "Node")
 }
 
 // rankTaint computes the set of identifier names assigned (directly or
 // transitively) from Rank()/Node() anywhere in body. The fixpoint loop is
 // bounded: each pass can only add names, and chains longer than the bound
-// are vanishingly rare in real code.
-func rankTaint(body *ast.BlockStmt) map[string]bool {
+// are vanishingly rare in real code. The conventional-name seeds (rank,
+// mype, …) are deliberate heuristics for rank values that cross function
+// boundaries — they taint conditions, they do not match API calls.
+func (w *divergenceWalker) rankTaint(body *ast.BlockStmt) map[string]bool {
 	tainted := make(map[string]bool)
 	// Seed with conventional parameter/variable names for rank values
 	// that cross function boundaries, where dataflow can't see the source.
@@ -291,7 +245,7 @@ func rankTaint(body *ast.BlockStmt) map[string]bool {
 		ast.Inspect(e, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				if isRankSource(n) {
+				if w.isRankSource(n) {
 					dep = true
 				}
 			case *ast.Ident:

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/conveyor"
+)
+
+// EscapingView flags borrowed conveyor views that outlive their borrow.
+// conveyor.Pull returns a slice into the pull ring and PushSlot a slice
+// into the push buffer; both are valid only until the next conveyor
+// progress (DESIGN.md §8), when the transport recycles the backing
+// arrays. A view stored to a field, global, channel, slice element, or
+// goroutine — or simply read after progress — observes bytes from a
+// different message: the zero-allocation hot path's one sharp edge,
+// which corrupts MAIN/PROC/COMM attribution silently. The analysis is
+// interprocedural: passing a view to a function whose summary stores its
+// parameter is an escape too, and calling a function that transitively
+// makes progress invalidates live views.
+type EscapingView struct{}
+
+// Name implements Analyzer.
+func (EscapingView) Name() string { return "escapingview" }
+
+// Doc implements Analyzer.
+func (EscapingView) Doc() string {
+	return "borrowed conveyor view (Pull/PushSlot result) escapes its borrow — stored to a field, global, channel, or goroutine, or used after conveyor/actor progress recycled its backing buffer; copy the bytes first (append([]byte(nil), v...))"
+}
+
+const escapeViewFix = "copy before retaining: v = append([]byte(nil), v...)"
+const staleViewFix = "copy the bytes you still need before the progress call"
+
+// borrowSpec parameterizes the dataflow engine for borrowed conveyor
+// views. It is also the spec the whole-program summaries are computed
+// under (see Program facts).
+func borrowSpec() *taintSpec {
+	borrowed := conveyor.BorrowedViewMethods()
+	convProgress := nameSet(conveyor.ProgressMethods())
+	actProgress := nameSet(actor.ProgressMethods())
+	return &taintSpec{
+		describe:     "borrowed conveyor view",
+		escapeFix:    escapeViewFix,
+		staleFix:     staleViewFix,
+		copyFixable:  true,
+		trackEscapes: true,
+		sourceResults: func(fn *types.Func) []int {
+			if n := recvNamed(fn); n != nil && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == pkgConveyor && n.Obj().Name() == "Conveyor" {
+				if idx, ok := borrowed[fn.Name()]; ok {
+					return []int{idx}
+				}
+			}
+			return nil
+		},
+		invalidates: func(fn *types.Func) string {
+			n := recvNamed(fn)
+			if n == nil || n.Obj().Pkg() == nil {
+				return ""
+			}
+			switch {
+			case n.Obj().Pkg().Path() == pkgConveyor && n.Obj().Name() == "Conveyor" && convProgress[fn.Name()]:
+				return "conveyor progress (" + fn.Name() + ")"
+			case n.Obj().Pkg().Path() == pkgActor && n.Obj().Name() == "Selector" && actProgress[fn.Name()]:
+				return "actor progress (" + fn.Name() + ")"
+			case n.Obj().Pkg().Path() == pkgActor && n.Obj().Name() == "Runtime" && fn.Name() == "Finish":
+				return "Runtime.Finish (drains all conveyors)"
+			}
+			return ""
+		},
+		releaseArgs: func(fn *types.Func) []int { return nil },
+	}
+}
+
+// Run implements Analyzer.
+func (a EscapingView) Run(pass *Pass) {
+	_, summaries := pass.Prog.facts()
+	spec := borrowSpec()
+	spec.summaries = summaries
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			runLifetimeWalk(pass, spec, fd.Body)
+		}
+	}
+}
+
+// runLifetimeWalk wires the dataflow engine to a Pass: reports become
+// diagnostics, and fixable escapes carry copy-insertion edits.
+func runLifetimeWalk(pass *Pass, spec *taintSpec, body *ast.BlockStmt) {
+	var pending []TextEdit
+	w := newTaintWalker(pass.Pkg.Info, spec, nil)
+	w.edits = func(pos, end token.Pos) {
+		file := pass.Pkg.Fset.Position(pos)
+		pending = []TextEdit{
+			{File: file.Filename, Offset: file.Offset, End: file.Offset, NewText: "append([]byte(nil), "},
+			{File: file.Filename, Offset: pass.Pkg.Fset.Position(end).Offset, End: pass.Pkg.Fset.Position(end).Offset, NewText: "...)"},
+		}
+	}
+	w.report = func(pos token.Pos, fix, format string, args ...any) {
+		pass.ReportWithEdits(pos, fix, pending, format, args...)
+		pending = nil
+	}
+	w.walkBody(body)
+}
+
+// facts lazily builds the whole-program analysis facts shared by every
+// pass: the call graph and the interprocedural borrow summaries.
+func (prog *Program) facts() (*callGraph, *summaryTable) {
+	prog.factsOnce.Do(func() {
+		prog.callgraph = buildCallGraph(prog)
+		prog.summaries = computeSummaries(prog, prog.callgraph, borrowSpec())
+	})
+	return prog.callgraph, prog.summaries
+}

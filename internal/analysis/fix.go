@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in a source file. An insertion
+// has Offset == End. Offsets are 0-based byte offsets into the file as
+// loaded.
+type TextEdit struct {
+	File    string
+	Offset  int
+	End     int
+	NewText string
+}
+
+// ApplyFixes applies every mechanical fix carried by diags to the files
+// on disk, gofmt-ing each patched file through go/format before writing
+// (a fix that does not survive formatting — i.e. does not parse — aborts
+// the whole file, leaving it untouched). It returns the files written.
+//
+// Identical edits are de-duplicated (two findings may both want the same
+// const declaration inserted); remaining overlapping edits are a
+// conflict and abort that file.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, e := range d.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var written []string
+	for _, file := range files {
+		edits := dedupeEdits(byFile[file])
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return written, fmt.Errorf("fix: %w", err)
+		}
+		patched, err := applyEdits(src, edits)
+		if err != nil {
+			return written, fmt.Errorf("fix: %s: %w", file, err)
+		}
+		formatted, err := format.Source(patched)
+		if err != nil {
+			return written, fmt.Errorf("fix: %s: patched source does not parse (fix bug): %w", file, err)
+		}
+		if err := os.WriteFile(file, formatted, 0o644); err != nil {
+			return written, fmt.Errorf("fix: %w", err)
+		}
+		written = append(written, file)
+	}
+	return written, nil
+}
+
+// dedupeEdits sorts edits by position and drops exact duplicates.
+func dedupeEdits(edits []TextEdit) []TextEdit {
+	sort.Slice(edits, func(i, j int) bool {
+		a, b := edits[i], edits[j]
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.NewText < b.NewText
+	})
+	out := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// applyEdits rewrites src back-to-front so earlier offsets stay valid.
+// edits must be sorted; overlapping ranges are an error.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	for i, e := range edits {
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+			return nil, fmt.Errorf("edit out of range [%d,%d) of %d bytes", e.Offset, e.End, len(src))
+		}
+		// Two insertions at the same offset do not overlap; a replacement
+		// reaching into the next edit's range does.
+		if i > 0 && e.Offset < edits[i-1].End {
+			return nil, fmt.Errorf("conflicting edits at offset %d", e.Offset)
+		}
+	}
+	out := append([]byte(nil), src...)
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		out = append(out[:e.Offset], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixtureTo copies every .go file of src into a fresh directory
+// under testdata (inside the module, so actorprof/... imports resolve)
+// and returns it. The copy is removed when the test ends.
+func copyFixtureTo(t *testing.T, src, prefix string) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("testdata", prefix+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runRule loads dir and runs the single named analyzer.
+func runRule(t *testing.T, dir, rule string) []Diagnostic {
+	t.Helper()
+	prog, err := Load([]string{dir})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return Run(prog, []Analyzer{AnalyzerByName(rule)})
+}
+
+// TestFixRoundTripRawOffset applies rawoffset's named-constant rewrite
+// to a copy of the fixture and asserts the result re-vets clean: the
+// rewrite (bare literal -> named constant) removes exactly the property
+// the rule fires on.
+func TestFixRoundTripRawOffset(t *testing.T) {
+	dir := copyFixtureTo(t, filepath.Join("testdata", "src", "rawoffset"), "fixtmp-rawoffset")
+	diags := runRule(t, dir, "rawoffset")
+	if len(diags) != 4 {
+		t.Fatalf("pre-fix: got %d findings, want 4", len(diags))
+	}
+	fixed, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("fixed %d files, want 1: %v", len(fixed), fixed)
+	}
+	after := runRule(t, dir, "rawoffset")
+	if len(after) != 0 {
+		t.Errorf("post-fix: %d findings remain: %+v", len(after), after)
+	}
+	patched, err := os.ReadFile(filepath.Join(dir, "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"const wordBytes = 8", "wordBytes*i", "i<<offScale3"} {
+		if !strings.Contains(string(patched), want) {
+			t.Errorf("patched source missing %q:\n%s", want, patched)
+		}
+	}
+}
+
+// TestFixRoundTripEscapingView applies escapingview's copy insertion
+// (append([]byte(nil), v...)) to a fixture whose findings are all
+// mechanically fixable, and asserts the result re-vets clean.
+func TestFixRoundTripEscapingView(t *testing.T) {
+	dir := copyFixtureTo(t, filepath.Join("testdata", "fix", "escapingview"), "fixtmp-escview")
+	diags := runRule(t, dir, "escapingview")
+	if len(diags) != 4 {
+		t.Fatalf("pre-fix: got %d findings, want 4: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if len(d.Edits) == 0 {
+			t.Fatalf("finding at %s carries no edits", d.Position())
+		}
+	}
+	if _, err := ApplyFixes(diags); err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	after := runRule(t, dir, "escapingview")
+	if len(after) != 0 {
+		t.Errorf("post-fix: %d findings remain: %+v", len(after), after)
+	}
+	patched, err := os.ReadFile(filepath.Join(dir, "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"box.last = append([]byte(nil), item...)",
+		"lastMsg = append([]byte(nil), item...)",
+		"out <- append([]byte(nil), slot...)",
+		"stash(append([]byte(nil), item...))",
+	} {
+		if !strings.Contains(string(patched), want) {
+			t.Errorf("patched source missing %q:\n%s", want, patched)
+		}
+	}
+}
+
+// TestApplyEditsOverlap asserts conflicting edits abort rather than
+// corrupt the file.
+func TestApplyEditsOverlap(t *testing.T) {
+	src := []byte("hello world")
+	if _, err := applyEdits(src, []TextEdit{
+		{Offset: 0, End: 5, NewText: "HELLO"},
+		{Offset: 3, End: 8, NewText: "XXX"},
+	}); err == nil {
+		t.Fatal("overlapping edits should error")
+	}
+	// Same-offset insertions do not conflict.
+	out, err := applyEdits(src, []TextEdit{
+		{Offset: 5, End: 5, NewText: ","},
+		{Offset: 5, End: 5, NewText: "!"},
+	})
+	if err != nil {
+		t.Fatalf("same-offset insertions: %v", err)
+	}
+	if string(out) != "hello,! world" && string(out) != "hello!, world" {
+		t.Errorf("insertions applied as %q", out)
+	}
+}
+
+// TestDedupeEdits asserts identical edits collapse (two findings both
+// inserting the same const declaration must insert it once).
+func TestDedupeEdits(t *testing.T) {
+	e := TextEdit{File: "f.go", Offset: 10, End: 10, NewText: "const x = 1"}
+	got := dedupeEdits([]TextEdit{e, e, e})
+	if len(got) != 1 {
+		t.Fatalf("deduped to %d edits, want 1", len(got))
+	}
+}

@@ -2,75 +2,130 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
+	"sort"
 	"strings"
 )
 
 // Suppression directives:
 //
-//	//actorvet:ignore rule[,rule...]      suppress on this line or the next
+//	//actorvet:ignore rule[,rule...]      suppress on this line / statement
 //	//actorvet:ignore                     suppress every rule likewise
 //	//actorvet:ignore-file rule[,rule...] suppress for the whole file
 //
 // The line-scoped form works both as a trailing comment on the offending
 // line and as a comment on the line directly above it (the gofmt-friendly
-// placement). Deliberate violations — fixtures, the conveyor transport's
-// raw offset arithmetic — carry directives so that actorvet stays
-// zero-findings on the repository itself.
+// placement). When the line it governs starts a multi-line statement or
+// declaration, the directive covers the statement's whole extent —
+// putting one above a multi-line if/for/composite-literal suppresses
+// findings anywhere inside it (block-scoped suppression).
+//
+// Directives are themselves checked: a directive naming a rule that does
+// not exist is a baddirective error (a typo would otherwise silently
+// suppress nothing), and a directive that suppressed no finding in the
+// run is a staleignore warning (the violation it justified is gone — so
+// should the directive). Deliberate violations — fixtures, the conveyor
+// transport's raw offset arithmetic — carry directives so that actorvet
+// stays zero-findings on the repository itself.
 
 const (
 	ignoreDirective     = "//actorvet:ignore"
 	ignoreFileDirective = "//actorvet:ignore-file"
 )
 
-// ignoreIndex records, per file, which rules are suppressed where.
+// Names of the directive-checking pseudo-rules. They are not Analyzers —
+// Run emits them while validating the ignore index — but they occupy the
+// same rule namespace so they can be filtered and suppressed uniformly.
+const (
+	ruleBadDirective = "baddirective"
+	ruleStaleIgnore  = "staleignore"
+)
+
+// directiveEntry is one parsed //actorvet:ignore[-file] comment.
+type directiveEntry struct {
+	file     string
+	fileWide bool
+	// startLine..endLine is the covered line range (line-scoped only).
+	startLine, endLine int
+	// rules are the named rules; the empty string means "all rules".
+	rules map[string]bool
+	// position locates the directive for baddirective/staleignore
+	// diagnostics.
+	position token.Position
+	// used records whether the directive suppressed at least one finding.
+	used bool
+}
+
+// ignoreIndex records every directive in a package.
 type ignoreIndex struct {
-	// byLine maps file -> line -> rules suppressed at that line. The
-	// empty-string rule means "all rules".
-	byLine map[string]map[int]map[string]bool
-	// byFile maps file -> rules suppressed everywhere in it.
-	byFile map[string]map[string]bool
+	entries []*directiveEntry
 }
 
 // buildIgnoreIndex scans every comment in the package for directives.
+// Statement extents come from the syntax: a directive that governs the
+// first line of a multi-line statement covers through its last line.
 func buildIgnoreIndex(pkg *Package) *ignoreIndex {
-	idx := &ignoreIndex{
-		byLine: make(map[string]map[int]map[string]bool),
-		byFile: make(map[string]map[string]bool),
-	}
+	idx := &ignoreIndex{}
 	for _, f := range pkg.Files {
+		extents := stmtExtents(pkg.Fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				idx.addComment(pkg, c)
+				idx.addComment(pkg, extents, c)
 			}
 		}
 	}
 	return idx
 }
 
-func (idx *ignoreIndex) addComment(pkg *Package, c *ast.Comment) {
+// stmtExtents maps each line that starts a statement or declaration to
+// the last line of the longest such node starting there.
+func stmtExtents(fset *token.FileSet, f *ast.File) map[int]int {
+	extents := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			start := fset.Position(n.Pos()).Line
+			end := fset.Position(n.End()).Line
+			if end > extents[start] {
+				extents[start] = end
+			}
+		}
+		return true
+	})
+	return extents
+}
+
+func (idx *ignoreIndex) addComment(pkg *Package, extents map[int]int, c *ast.Comment) {
 	text := strings.TrimSpace(c.Text)
 	pos := pkg.Fset.Position(c.Pos())
 	if rest, ok := cutDirective(text, ignoreFileDirective); ok {
-		rules := idx.byFile[pos.Filename]
-		if rules == nil {
-			rules = make(map[string]bool)
-			idx.byFile[pos.Filename] = rules
-		}
-		addRules(rules, rest)
+		idx.entries = append(idx.entries, &directiveEntry{
+			file:     pos.Filename,
+			fileWide: true,
+			rules:    parseRules(rest),
+			position: pos,
+		})
 		return
 	}
 	if rest, ok := cutDirective(text, ignoreDirective); ok {
-		lines := idx.byLine[pos.Filename]
-		if lines == nil {
-			lines = make(map[int]map[string]bool)
-			idx.byLine[pos.Filename] = lines
+		// Cover the directive's own line (trailing placement), the next
+		// line (comment-above placement), and — when either of those
+		// lines opens a multi-line statement — that statement's full
+		// extent.
+		end := pos.Line + 1
+		if e := extents[pos.Line]; e > end {
+			end = e
 		}
-		rules := lines[pos.Line]
-		if rules == nil {
-			rules = make(map[string]bool)
-			lines[pos.Line] = rules
+		if e := extents[pos.Line+1]; e > end {
+			end = e
 		}
-		addRules(rules, rest)
+		idx.entries = append(idx.entries, &directiveEntry{
+			file:      pos.Filename,
+			startLine: pos.Line,
+			endLine:   end,
+			rules:     parseRules(rest),
+			position:  pos,
+		})
 	}
 }
 
@@ -92,10 +147,11 @@ func cutDirective(text, directive string) (rest string, ok bool) {
 	return strings.TrimSpace(rest), true
 }
 
-func addRules(set map[string]bool, args string) {
+func parseRules(args string) map[string]bool {
+	set := make(map[string]bool)
 	if args == "" {
 		set[""] = true // all rules
-		return
+		return set
 	}
 	// Anything after the rule list (e.g. a prose justification) is
 	// ignored: "//actorvet:ignore rawoffset transport owns the layout".
@@ -105,21 +161,87 @@ func addRules(set map[string]bool, args string) {
 			set[r] = true
 		}
 	}
+	return set
 }
 
-// suppressed reports whether d is covered by a directive: file-wide, on
-// d's own line, or on the line above.
+// suppressed reports whether d is covered by a directive, marking the
+// matching directive as used.
 func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
-	if match(idx.byFile[d.File], d.Rule) {
-		return true
+	hit := false
+	for _, e := range idx.entries {
+		if e.file != d.File || !matchRules(e.rules, d.Rule) {
+			continue
+		}
+		if e.fileWide || (d.Line >= e.startLine && d.Line <= e.endLine) {
+			e.used = true
+			hit = true
+			// Keep scanning: overlapping directives should all count as
+			// used, or a redundant one would be falsely reported stale.
+		}
 	}
-	lines := idx.byLine[d.File]
-	if lines == nil {
-		return false
-	}
-	return match(lines[d.Line], d.Rule) || match(lines[d.Line-1], d.Rule)
+	return hit
 }
 
-func match(set map[string]bool, rule string) bool {
+func matchRules(set map[string]bool, rule string) bool {
 	return set != nil && (set[""] || set[rule])
+}
+
+// validate emits baddirective diagnostics for rule names that do not
+// exist. knownRules is the full rule namespace — every shipped analyzer
+// plus the pseudo-rules — regardless of any -rules filter, so a filtered
+// run still catches typos.
+func (idx *ignoreIndex) validate(knownRules map[string]bool, sink func(Diagnostic)) {
+	for _, e := range idx.entries {
+		var bad []string
+		for r := range e.rules {
+			if r != "" && !knownRules[r] {
+				bad = append(bad, r)
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		sort.Strings(bad)
+		sink(Diagnostic{
+			Rule:     ruleBadDirective,
+			Severity: severityLevels[ruleBadDirective],
+			File:     e.position.Filename,
+			Line:     e.position.Line,
+			Col:      e.position.Column,
+			Message: "//actorvet:ignore names unknown rule(s) " + strings.Join(bad, ", ") +
+				"; a typo here silently suppresses nothing — fix the rule name or delete the directive",
+		})
+	}
+}
+
+// reportStale emits staleignore diagnostics for directives that
+// suppressed nothing. A directive is only judged against the analyzers
+// that actually ran: under a -rules filter, a directive for an inactive
+// rule is skipped rather than falsely called stale (wildcard directives
+// are judged only when the full suite ran).
+func (idx *ignoreIndex) reportStale(activeRules map[string]bool, fullSuite bool, sink func(Diagnostic)) {
+	for _, e := range idx.entries {
+		if e.used {
+			continue
+		}
+		judgeable := true
+		for r := range e.rules {
+			if r == "" {
+				judgeable = fullSuite
+			} else if !activeRules[r] {
+				judgeable = false
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		sink(Diagnostic{
+			Rule:     ruleStaleIgnore,
+			Severity: severityLevels[ruleStaleIgnore],
+			File:     e.position.Filename,
+			Line:     e.position.Line,
+			Col:      e.position.Column,
+			Message:  "//actorvet:ignore directive suppresses nothing; the violation it justified is gone — delete the directive",
+		})
+	}
 }

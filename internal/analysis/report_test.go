@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -93,8 +95,80 @@ func TestJSONReporterRoundTripsFixture(t *testing.T) {
 		t.Fatalf("round trip count = %d/%d, want %d", doc.Count, len(doc.Findings), len(diags))
 	}
 	for i := range diags {
-		if doc.Findings[i] != diags[i] {
-			t.Errorf("finding %d round-tripped to %+v, want %+v", i, doc.Findings[i], diags[i])
+		got, want := doc.Findings[i], diags[i]
+		// Edits are a fix payload, deliberately excluded from reports.
+		want.Edits = nil
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("finding %d round-tripped to %+v, want %+v", i, got, want)
 		}
+	}
+}
+
+// TestSARIFReporterGolden pins the SARIF 2.1.0 document byte-for-byte
+// against testdata/golden/sample.sarif — the format GitHub code scanning
+// ingests, so any drift is a CI-integration break.
+func TestSARIFReporterGolden(t *testing.T) {
+	var b strings.Builder
+	if err := (SARIFReporter{}).Report(&b, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden", "sample.sarif")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("sarif output drifted from %s:\n%s", golden, b.String())
+	}
+
+	// Structural invariants, independent of the golden bytes.
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version = %q, runs = %d; want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "actorvet" || len(run.Tool.Driver.Rules) != 2 || len(run.Results) != 2 {
+		t.Fatalf("driver = %q with %d rules, %d results; want actorvet with 2 rules, 2 results",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(run.Results))
+	}
+	if run.Results[0].Level != "error" || run.Results[1].Level != "warning" {
+		t.Errorf("levels = %s, %s; want error, warning", run.Results[0].Level, run.Results[1].Level)
+	}
+
+	// The empty document is still a well-formed run (code scanning
+	// rejects null results).
+	b.Reset()
+	if err := (SARIFReporter{}).Report(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"results": []`) {
+		t.Errorf("empty sarif run should carry an empty results array:\n%s", b.String())
 	}
 }

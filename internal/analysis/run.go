@@ -4,15 +4,30 @@ import (
 	"sort"
 )
 
-// Run executes every analyzer over every package, drops suppressed
-// diagnostics, and returns the rest sorted by file, line, column, rule.
-func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+// Run executes every analyzer over the program's requested packages,
+// drops suppressed diagnostics, validates the suppression directives
+// themselves (baddirective, staleignore), and returns the findings
+// sorted by file, line, column, rule.
+func Run(prog *Program, analyzers []Analyzer) []Diagnostic {
+	knownRules := make(map[string]bool)
+	for _, a := range DefaultAnalyzers() {
+		knownRules[a.Name()] = true
+	}
+	knownRules[ruleBadDirective] = true
+	knownRules[ruleStaleIgnore] = true
+	activeRules := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		activeRules[a.Name()] = true
+	}
+	fullSuite := len(activeRules) >= len(DefaultAnalyzers())
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Packages {
 		idx := buildIgnoreIndex(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Pkg:      pkg,
+				Prog:     prog,
 				analyzer: a,
 				severity: severityOf(a),
 				sink: func(d Diagnostic) {
@@ -23,6 +38,12 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+		// Directive hygiene. These bypass suppression deliberately: a
+		// stale wildcard directive would otherwise suppress its own
+		// staleness warning.
+		sink := func(d Diagnostic) { diags = append(diags, d) }
+		idx.validate(knownRules, sink)
+		idx.reportStale(activeRules, fullSuite, sink)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -45,6 +66,8 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 var severityLevels = map[string]Severity{
 	"rawoffset":      SeverityWarning,
 	"unpairedregion": SeverityWarning,
+	ruleBadDirective: SeverityError,
+	ruleStaleIgnore:  SeverityWarning,
 }
 
 func severityOf(a Analyzer) Severity {

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIFReporter renders the diagnostics as a SARIF 2.1.0 document, the
+// interchange format GitHub code scanning ingests to surface findings as
+// PR annotations. One run, one driver (actorvet), one rule entry per
+// analyzer that actually fired, results referencing rules by ID.
+type SARIFReporter struct{}
+
+// The subset of SARIF 2.1.0 this reporter emits. Field order within the
+// structs is the serialization order, so the output is byte-stable for
+// golden tests.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps actorvet severities onto SARIF's level vocabulary.
+func sarifLevel(s Severity) string {
+	if s == SeverityError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Report implements Reporter.
+func (SARIFReporter) Report(w io.Writer, diags []Diagnostic) error {
+	ruleDocs := make(map[string]string)
+	for _, a := range DefaultAnalyzers() {
+		ruleDocs[a.Name()] = a.Doc()
+	}
+	ruleDocs[ruleBadDirective] = "//actorvet:ignore directive names a rule that does not exist"
+	ruleDocs[ruleStaleIgnore] = "//actorvet:ignore directive suppresses nothing"
+
+	seen := make(map[string]bool)
+	var rules []sarifRule
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !seen[d.Rule] {
+			seen[d.Rule] = true
+			rules = append(rules, sarifRule{
+				ID:               d.Rule,
+				ShortDescription: sarifMessage{Text: ruleDocs[d.Rule]},
+			})
+		}
+		msg := d.Message
+		if d.Fix != "" {
+			msg += " (fix: " + d.Fix + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	doc := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "actorvet",
+				InformationURI: "https://github.com/actorprof/actorprof",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	if doc.Runs[0].Tool.Driver.Rules == nil {
+		doc.Runs[0].Tool.Driver.Rules = []sarifRule{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

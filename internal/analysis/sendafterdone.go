@@ -57,7 +57,7 @@ func (a SendAfterDone) walkBlock(pass *Pass, stmts []ast.Stmt, done map[doneKey]
 		// executes once flow reaches it.
 		if es, ok := s.(*ast.ExprStmt); ok {
 			if call, ok := es.X.(*ast.CallExpr); ok {
-				a.recordDone(call, done)
+				a.recordDone(pass, call, done)
 			}
 		}
 		// Recurse into nested blocks with a copy so conditional Dones
@@ -127,8 +127,11 @@ func (a SendAfterDone) checkSends(pass *Pass, expr ast.Expr, done map[doneKey]bo
 		if !ok {
 			return true
 		}
-		recv, name, ok := callee(call)
-		if !ok || recv == nil || name != "Send" || len(call.Args) != 3 {
+		if fn := calleeFunc(pass.Pkg.Info, call); !isMethodOn(fn, pkgActor, "Selector", "Send") || len(call.Args) != 3 {
+			return true
+		}
+		recv, _, ok := callee(call)
+		if !ok || recv == nil {
 			return true
 		}
 		recvKey := exprKey(recv)
@@ -151,8 +154,13 @@ func (a SendAfterDone) checkSends(pass *Pass, expr ast.Expr, done map[doneKey]bo
 }
 
 // recordDone marks Done/DoneAll statement-level calls.
-func (a SendAfterDone) recordDone(call *ast.CallExpr, done map[doneKey]bool) {
-	recv, name, ok := callee(call)
+func (a SendAfterDone) recordDone(pass *Pass, call *ast.CallExpr, done map[doneKey]bool) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || recvNamed(fn) == nil ||
+		(!isMethodOn(fn, pkgActor, "Selector", "Done") && !isMethodOn(fn, pkgActor, "Selector", "DoneAll")) {
+		return
+	}
+	recv, _, ok := callee(call)
 	if !ok || recv == nil {
 		return
 	}
@@ -160,7 +168,7 @@ func (a SendAfterDone) recordDone(call *ast.CallExpr, done map[doneKey]bool) {
 	if recvKey == "" {
 		return
 	}
-	switch name {
+	switch fn.Name() {
 	case "Done":
 		if len(call.Args) != 1 {
 			return

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StaleStaging flags NBI staging-pool buffers retained past the point
+// the pool recycles them. The shmem RMA layer stages every PutNBI
+// payload in a pooled []byte (getNBIBuf) that quiet()/Quiet/Barrier
+// drain and recycle (DESIGN.md §8, staging-pool rule): code that keeps
+// reading or writing such a buffer after releasing it (putNBIBuf) or
+// after a quiet/barrier is writing into a buffer the pool has already
+// handed to an unrelated Put — non-deterministic corruption that Open
+// item 1's multi-process transport would turn into cross-process heap
+// scribbles. The rule is scoped to packages whose import path ends in
+// internal/shmem (the pool's API is unexported by design); the
+// in-package names getNBIBuf/putNBIBuf, the pendingWrite staging record,
+// and the quiet/Quiet/Barrier/Fence release points are its contract.
+type StaleStaging struct{}
+
+// Name implements Analyzer.
+func (StaleStaging) Name() string { return "stalestaging" }
+
+// Doc implements Analyzer.
+func (StaleStaging) Doc() string {
+	return "NBI staging-pool buffer (getNBIBuf result or pendingWrite.data) is used after putNBIBuf released it or after quiet/Barrier recycled the pool; the bytes now belong to another in-flight Put"
+}
+
+const staleStagingFix = "finish all writes to the staging buffer before releasing it or reaching a quiet/barrier; if the data must outlive the quiet, copy it out first"
+
+// stagingReleasePoints are the in-package operations after which every
+// outstanding staging buffer is recycled.
+var stagingReleasePoints = nameSet([]string{"quiet", "Quiet", "Barrier", "Fence"})
+
+// Run implements Analyzer.
+func (a StaleStaging) Run(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.Path, "internal/shmem") {
+		return
+	}
+	pkgPath := pass.Pkg.Path
+	spec := &taintSpec{
+		describe: "NBI staging buffer",
+		staleFix: staleStagingFix,
+		// Staging buffers legitimately live in the pendingNBI field until
+		// quiet drains them; only use-after-release is a violation.
+		trackEscapes: false,
+		sourceResults: func(fn *types.Func) []int {
+			if isFunc(fn, pkgPath, "getNBIBuf") {
+				return []int{0}
+			}
+			return nil
+		},
+		sourceExpr: func(info *types.Info, e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "data" {
+				return false
+			}
+			tv, ok := info.Types[sel.X]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			t := tv.Type
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			n, ok := t.(*types.Named)
+			return ok && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == "pendingWrite"
+		},
+		invalidates: func(fn *types.Func) string {
+			if funcIn(fn, pkgPath, stagingReleasePoints) {
+				return fn.Name() + " recycled the staging pool"
+			}
+			return ""
+		},
+		releaseArgs: func(fn *types.Func) []int {
+			if isFunc(fn, pkgPath, "putNBIBuf") {
+				return []int{0}
+			}
+			return nil
+		},
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The pool's own plumbing — the release points and the drain
+			// loop — manipulates recycled buffers by definition.
+			if stagingReleasePoints[fd.Name.Name] ||
+				fd.Name.Name == "getNBIBuf" || fd.Name.Name == "putNBIBuf" {
+				continue
+			}
+			runLifetimeWalk(pass, spec, fd.Body)
+		}
+	}
+}

@@ -5,8 +5,11 @@ func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		BlockingHandler{},
 		DivergedCollective{},
+		EscapingView{},
 		RawOffset{},
 		SendAfterDone{},
+		SharedHandlerState{},
+		StaleStaging{},
 		UnpairedRegion{},
 	}
 }

@@ -1,0 +1,37 @@
+// Package fixture: every finding here carries a mechanical copy fix —
+// the -fix round-trip test applies them and re-vets clean.
+package fixture
+
+import "actorprof/internal/conveyor"
+
+var lastMsg []byte
+
+type inbox struct{ last []byte }
+
+func fieldStore(c *conveyor.Conveyor, box *inbox) {
+	item, _, ok := c.Pull()
+	if !ok {
+		return
+	}
+	box.last = item // fixable: wrap in append([]byte(nil), ...)
+}
+
+func globalStore(c *conveyor.Conveyor) {
+	if item, _, ok := c.Pull(); ok {
+		lastMsg = item // fixable
+	}
+}
+
+func channelSend(c *conveyor.Conveyor, out chan []byte) {
+	if slot, ok := c.PushSlot(1); ok {
+		out <- slot // fixable
+	}
+}
+
+func stash(b []byte) { lastMsg = b }
+
+func interprocEscape(c *conveyor.Conveyor) {
+	if item, _, ok := c.Pull(); ok {
+		stash(item) // fixable: copy at the call site
+	}
+}

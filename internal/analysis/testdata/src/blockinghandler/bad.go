@@ -3,13 +3,14 @@ package fixture
 
 import (
 	"actorprof/internal/actor"
+	"actorprof/internal/conveyor"
 	"actorprof/internal/shmem"
 )
 
 func blockingLambdaHandler(pe *shmem.PE, rt *actor.Runtime, sel *actor.Selector[int64]) {
 	sel.Process(0, func(msg int64, srcPE int) {
-		pe.Barrier()         // line 11: barrier in handler
-		rt.Finish(func() {}) // line 12: nested finish in handler
+		pe.Barrier()         // line 12: barrier in handler
+		rt.Finish(func() {}) // line 13: nested finish in handler
 		sel.Send(0, msg, 1)  // fine: handlers may send
 	})
 }
@@ -20,12 +21,12 @@ func namedHandlerUser(sel *actor.Selector[int64]) {
 
 func blockingNamedHandler(msg int64, srcPE int) {
 	var pe *shmem.PE
-	pe.WaitUntilInt64(8, shmem.CmpEq, msg) // line 23: wait-until in handler
+	pe.WaitUntilInt64(8, shmem.CmpEq, msg) // line 24: wait-until in handler
 }
 
-func advanceInHandler(sel *actor.Selector[int64], conv interface{ Advance(bool) bool }) {
+func advanceInHandler(sel *actor.Selector[int64], conv *conveyor.Conveyor) {
 	sel.Process(0, func(msg int64, srcPE int) {
-		conv.Advance(false) // line 28: conveyor advance in handler
+		conv.Advance(false) // line 29: conveyor advance in handler
 	})
 }
 

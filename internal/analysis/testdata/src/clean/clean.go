@@ -32,7 +32,7 @@ func wellBehaved(pe *shmem.PE, rt *actor.Runtime) error {
 }
 
 func measuredSegment(rt *actor.Runtime, engine *papi.Engine) []int64 {
-	es, _ := papi.NewEventSet(engine, papi.TotalInstructions)
+	es, _ := papi.NewEventSet(engine, papi.TOT_INS)
 	rt.Pause()
 	es.Start()
 	deltas := es.Stop()

@@ -1,0 +1,33 @@
+// Package fixture: //actorvet:ignore edge cases — multi-line statement
+// coverage, block-scoped suppression, unknown rule names, stale ignores.
+package fixture
+
+import "actorprof/internal/shmem"
+
+func multiLineStatement(pe *shmem.PE, base, i int) {
+	//actorvet:ignore rawoffset the slot layout is owned here
+	pe.PutInt64(1,
+		base+8*i,
+		7)
+}
+
+func blockScoped(pe *shmem.PE) {
+	//actorvet:ignore divergedcollective intentional rank-0 gate
+	if pe.Rank() == 0 {
+		pe.Barrier()
+	}
+}
+
+func unknownRule(pe *shmem.PE) {
+	if pe.Rank() == 1 {
+		pe.Barrier() //actorvet:ignore nosuchrule
+	}
+}
+
+func staleDirective(pe *shmem.PE, off int) {
+	pe.PutInt64(1, off, 7) //actorvet:ignore rawoffset nothing raw here
+}
+
+func staleWildcard(pe *shmem.PE) {
+	pe.Quiet() //actorvet:ignore
+}

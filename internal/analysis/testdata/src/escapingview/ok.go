@@ -1,0 +1,51 @@
+// Negative cases: copies and in-window uses keep every rule silent.
+package fixture
+
+import "actorprof/internal/conveyor"
+
+func copiedBeforeStore(c *conveyor.Conveyor, box *inbox) {
+	item, _, ok := c.Pull()
+	if !ok {
+		return
+	}
+	box.last = append([]byte(nil), item...) // copy: the view itself never escapes
+	c.Advance(false)
+	_ = box.last // the copy survives progress
+}
+
+func stringCopy(c *conveyor.Conveyor) string {
+	if item, _, ok := c.Pull(); ok {
+		return string(item) // string conversion copies the bytes
+	}
+	return ""
+}
+
+func copiedForGlobal(c *conveyor.Conveyor) {
+	if item, _, ok := c.Pull(); ok {
+		lastMsg = append([]byte(nil), item...) // copy, then retain freely
+	}
+}
+
+func inWindowUse(c *conveyor.Conveyor, sum *int) {
+	for {
+		item, src, ok := c.Pull()
+		if !ok {
+			if c.Advance(true) {
+				break
+			}
+			continue
+		}
+		*sum += int(item[0]) + src // use strictly inside the borrow window
+	}
+}
+
+func slotFilledInWindow(c *conveyor.Conveyor, dst int) bool {
+	slot, ok := c.PushSlot(dst)
+	if !ok {
+		return false
+	}
+	for i := range slot {
+		slot[i] = byte(i) // writes inside the window are the whole point
+	}
+	return true
+}

@@ -1,0 +1,48 @@
+// Negative cases: per-PE state and sanctioned aggregation idioms.
+package fixture
+
+import (
+	"actorprof/internal/actor"
+	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
+)
+
+func perPEState() error {
+	return shmem.Run(shmem.Config{Machine: sim.Machine{NumPEs: 4, PEsPerNode: 2}}, func(pe *shmem.PE) {
+		rt := actor.NewRuntime(pe, actor.RuntimeOptions{})
+		var local int64
+		counts := make([]int64, pe.NumPEs())
+		sel, err := actor.NewActor(rt, actor.Int64Codec())
+		if err != nil {
+			return
+		}
+		sel.Process(0, func(msg int64, src int) {
+			local += msg      // fine: declared inside the SPMD closure, per-PE
+			counts[src] = msg // fine: element write is the aggregation idiom
+		})
+		rt.Finish(func() {
+			sel.Start()
+			sel.Done(0)
+		})
+		_ = local
+	})
+}
+
+// perInvocationState mirrors the apps package: the whole function runs
+// once per PE (it receives the per-PE Runtime), so its locals are per-PE
+// even though no shmem.Run closure is lexically visible.
+func perInvocationState(rt *actor.Runtime) ([]int64, error) {
+	var next []int64
+	sel, err := actor.NewActor(rt, actor.Int64Codec())
+	if err != nil {
+		return nil, err
+	}
+	sel.Process(0, func(msg int64, src int) {
+		next = append(next, msg) // fine: local of the per-PE invocation
+	})
+	rt.Finish(func() {
+		sel.Start()
+		sel.Done(0)
+	})
+	return next, nil
+}

@@ -1,0 +1,23 @@
+// Staging buffers retained past the point the pool recycles them.
+package shmem
+
+func useAfterRelease(pe *PE) byte {
+	buf := pe.getNBIBuf(64)
+	buf[0] = 1
+	pe.putNBIBuf(buf)
+	return buf[1] // line 8: released buffer still read
+}
+
+func useAfterQuiet(pe *PE) {
+	buf := pe.getNBIBuf(32)
+	buf[0] = 2
+	pe.Quiet()
+	buf[1] = 3 // line 15: pool recycled at Quiet, write scribbles another Put
+}
+
+func pendingDataAfterBarrier(pe *PE) byte {
+	w := &pe.pending[0]
+	d := w.data
+	pe.Barrier()
+	return d[0] // line 22: staging record's bytes read after the barrier
+}

@@ -1,0 +1,24 @@
+// Negative cases: staging buffers used strictly inside their lifetime.
+package shmem
+
+func stageAndQuiet(pe *PE, payload []byte) {
+	buf := pe.getNBIBuf(len(payload))
+	copy(buf, payload) // fine: writes before the release point
+	pe.pending = append(pe.pending, pendingWrite{off: 0, data: buf})
+	pe.Quiet()
+}
+
+func copyOutBeforeQuiet(pe *PE) []byte {
+	buf := pe.getNBIBuf(16)
+	buf[0] = 9
+	out := append([]byte(nil), buf...) // copy: survives the quiet
+	pe.Quiet()
+	return out
+}
+
+func releaseThenReacquire(pe *PE) byte {
+	buf := pe.getNBIBuf(8)
+	pe.putNBIBuf(buf)
+	buf = pe.getNBIBuf(8) // rebinding starts a fresh borrow
+	return buf[0]
+}

@@ -1,0 +1,48 @@
+// Package shmem is a miniature of the real RMA layer's NBI staging
+// pool — just enough in-package surface (getNBIBuf/putNBIBuf, the
+// pendingWrite staging record, quiet/Quiet/Barrier release points) to
+// exercise the stalestaging rule's contract. The rule is path-scoped to
+// packages ending in internal/shmem, which this fixture satisfies.
+package shmem
+
+type pendingWrite struct {
+	off  int
+	data []byte
+}
+
+// PE is the fixture's stand-in for the real per-PE handle.
+type PE struct {
+	pool    [][]byte
+	pending []pendingWrite
+}
+
+func (pe *PE) getNBIBuf(n int) []byte {
+	if len(pe.pool) == 0 {
+		return make([]byte, n)
+	}
+	b := pe.pool[len(pe.pool)-1]
+	pe.pool = pe.pool[:len(pe.pool)-1]
+	return b[:n]
+}
+
+func (pe *PE) putNBIBuf(b []byte) { pe.pool = append(pe.pool, b) }
+
+func (pe *PE) quiet() {
+	for i := range pe.pending {
+		pe.putNBIBuf(pe.pending[i].data)
+	}
+	pe.pending = pe.pending[:0]
+}
+
+// Quiet and Barrier are the public release points: both drain the
+// pending writes and recycle every staging buffer.
+func (pe *PE) Quiet()   { pe.quiet() }
+func (pe *PE) Barrier() { pe.quiet() }
+
+// PutNBI stages a payload — the legitimate pattern the rule must NOT
+// flag: the staging buffer lives in the pending list until quiet.
+func (pe *PE) PutNBI(off int, src []byte) {
+	buf := pe.getNBIBuf(len(src))
+	copy(buf, src)
+	pe.pending = append(pe.pending, pendingWrite{off: off, data: buf})
+}

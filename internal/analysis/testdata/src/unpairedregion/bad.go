@@ -20,13 +20,13 @@ func pausedAndResumed(rt *actor.Runtime) {
 }
 
 func startWithoutStop(engine *papi.Engine) {
-	es, _ := papi.NewEventSet(engine, papi.TotalInstructions)
+	es, _ := papi.NewEventSet(engine, papi.TOT_INS)
 	es.Start() // line 24: event set never read out
 	loadGraph()
 }
 
 func startStopBalanced(engine *papi.Engine) []int64 {
-	es, _ := papi.NewEventSet(engine, papi.TotalInstructions)
+	es, _ := papi.NewEventSet(engine, papi.TOT_INS)
 	es.Start()
 	loadGraph()
 	return es.Stop()

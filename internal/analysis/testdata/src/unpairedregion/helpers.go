@@ -1,0 +1,4 @@
+package fixture
+
+// loadGraph stands in for arbitrary work between region boundaries.
+func loadGraph() {}

@@ -13,9 +13,9 @@ import (
 //
 //   - Runtime.Pause without a matching Resume on the same receiver — the
 //     rest of the run's trace is silently discarded;
-//   - papi EventSet Start without Stop (receivers are traced back to a
-//     NewEventSet call, so Selector.Start is never confused with it) —
-//     the counter region never reads out, and the set stays locked;
+//   - papi EventSet Start without Stop (the receiver's static type is
+//     *papi.EventSet, so Selector.Start is never confused with it) — the
+//     counter region never reads out, and the set stays locked;
 //   - trace SegmentEnter without SegmentExit — the segment never flushes
 //     into segments.txt;
 //   - a collective Malloc whose result is discarded — the symmetric
@@ -34,34 +34,32 @@ func (UnpairedRegion) Doc() string {
 	return "unbalanced region within a function: Pause without Resume, PAPI EventSet Start without Stop, SegmentEnter without SegmentExit, or a Malloc whose result is discarded"
 }
 
-// pairSpec describes one opener/closer method pair.
+// pairSpec describes one opener/closer method pair on one receiver type.
 type pairSpec struct {
+	pkg, typ    string // the receiver's defining package and type name
 	open, close string
-	// eventSetOnly restricts the pair to receivers assigned from
-	// NewEventSet, to disambiguate generic names like Start.
-	eventSetOnly bool
-	message      string
-	fix          string
+	message     string
+	fix         string
 }
 
 func pairSpecs() []pairSpec {
 	var specs []pairSpec
 	for open, close := range actor.PairedMethods() {
 		specs = append(specs, pairSpec{
-			open: open, close: close,
+			pkg: pkgActor, typ: "Runtime", open: open, close: close,
 			message: "%s.%s without a matching %s in this function; trace collection stays suspended and the rest of the run's profile is silently dropped",
 			fix:     "add a deferred or trailing %s, or ignore with a justification if the region intentionally spans functions",
 		})
 	}
 	for open, close := range trace.PairedMethods() {
 		specs = append(specs, pairSpec{
-			open: open, close: close,
+			pkg: pkgTrace, typ: "PECollector", open: open, close: close,
 			message: "%s.%s without a matching %s in this function; the segment never flushes its cycle/PAPI deltas",
 			fix:     "bracket the region with %s (or use Runtime.Segment, which pairs them for you)",
 		})
 	}
 	specs = append(specs, pairSpec{
-		open: "Start", close: "Stop", eventSetOnly: true,
+		pkg: pkgPAPI, typ: "EventSet", open: "Start", close: "Stop",
 		message: "%s.%s without a matching %s in this function; the PAPI event set never reads out and stays locked",
 		fix:     "call %s (its return value is the counter deltas) when the region of interest ends",
 	})
@@ -94,7 +92,7 @@ type callSite struct {
 // the same PE goroutine, so they legitimately close regions the
 // enclosing function opened).
 func (a UnpairedRegion) checkPairs(pass *Pass, body *ast.BlockStmt, specs []pairSpec) {
-	eventSets := eventSetReceivers(body)
+	info := pass.Pkg.Info
 	for _, spec := range specs {
 		var opens []callSite
 		closed := make(map[string]bool)
@@ -103,7 +101,20 @@ func (a UnpairedRegion) checkPairs(pass *Pass, body *ast.BlockStmt, specs []pair
 			if !ok {
 				return true
 			}
-			recv, name, ok := callee(call)
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			var name string
+			switch {
+			case isMethodOn(fn, spec.pkg, spec.typ, spec.open):
+				name = spec.open
+			case isMethodOn(fn, spec.pkg, spec.typ, spec.close):
+				name = spec.close
+			default:
+				return true
+			}
+			recv, _, ok := callee(call)
 			if !ok || recv == nil {
 				return true
 			}
@@ -111,13 +122,9 @@ func (a UnpairedRegion) checkPairs(pass *Pass, body *ast.BlockStmt, specs []pair
 			if key == "" {
 				return true
 			}
-			if spec.eventSetOnly && !eventSets[key] {
-				return true
-			}
-			switch name {
-			case spec.open:
+			if name == spec.open {
 				opens = append(opens, callSite{pos: call.Pos(), recv: key})
-			case spec.close:
+			} else {
 				closed[key] = true
 			}
 			return true
@@ -132,51 +139,26 @@ func (a UnpairedRegion) checkPairs(pass *Pass, body *ast.BlockStmt, specs []pair
 	}
 }
 
-// eventSetReceivers returns the names of identifiers assigned from a
-// NewEventSet call anywhere in body.
-func eventSetReceivers(body *ast.BlockStmt) map[string]bool {
-	out := make(map[string]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Rhs) != 1 {
-			return true
-		}
-		call, ok := unparen(assign.Rhs[0]).(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if _, name, ok := callee(call); !ok || name != "NewEventSet" {
-			return true
-		}
-		// es, err := papi.NewEventSet(...): the event set is the first
-		// result.
-		if id, ok := unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
-			out[id.Name] = true
-		}
-		return true
-	})
-	return out
-}
-
 // checkDiscardedMalloc flags statement-level Malloc calls and Mallocs
 // assigned only to blanks.
 func (a UnpairedRegion) checkDiscardedMalloc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
 	report := func(call *ast.CallExpr, recvKey string) {
 		pass.Report(call.Pos(),
 			"keep the returned offset (or use shmem.AllocInt64Array for a bounds-checked view); a symmetric allocation with no handle can never be addressed or reused",
 			"result of collective %s.Malloc is discarded; the symmetric heap space leaks on every PE", recvKey)
 	}
-	isMalloc := func(s ast.Stmt) (*ast.CallExpr, string, bool) {
-		es, ok := s.(*ast.ExprStmt)
+	discardedMalloc := func(e ast.Expr) (*ast.CallExpr, string, bool) {
+		call, ok := unparen(e).(*ast.CallExpr)
 		if !ok {
 			return nil, "", false
 		}
-		call, ok := es.X.(*ast.CallExpr)
-		if !ok {
+		fn := calleeFunc(info, call)
+		if !isMethodOn(fn, pkgShmem, "PE", "Malloc") || len(call.Args) != 1 {
 			return nil, "", false
 		}
-		recv, name, ok := callee(call)
-		if !ok || recv == nil || name != "Malloc" || len(call.Args) != 1 {
+		recv, _, ok := callee(call)
+		if !ok || recv == nil {
 			return nil, "", false
 		}
 		key := exprKey(recv)
@@ -185,7 +167,7 @@ func (a UnpairedRegion) checkDiscardedMalloc(pass *Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.ExprStmt:
-			if call, key, ok := isMalloc(n); ok {
+			if call, key, ok := discardedMalloc(n.X); ok {
 				report(call, key)
 			}
 		case *ast.AssignStmt:
@@ -193,19 +175,10 @@ func (a UnpairedRegion) checkDiscardedMalloc(pass *Pass, body *ast.BlockStmt) {
 			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
 				return true
 			}
-			id, ok := unparen(n.Lhs[0]).(*ast.Ident)
-			if !ok || id.Name != "_" {
+			if id, ok := unparen(n.Lhs[0]).(*ast.Ident); !ok || id.Name != "_" {
 				return true
 			}
-			call, ok := unparen(n.Rhs[0]).(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			recv, name, ok := callee(call)
-			if !ok || recv == nil || name != "Malloc" || len(call.Args) != 1 {
-				return true
-			}
-			if key := exprKey(recv); key != "" {
+			if call, key, ok := discardedMalloc(n.Rhs[0]); ok {
 				report(call, key)
 			}
 		}

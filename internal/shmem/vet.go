@@ -31,7 +31,9 @@ func CollectiveFuncs() []string {
 // conveyor progress, and the remote PE whose action would unblock the
 // call may itself be waiting on this PE's progress.
 func BlockingMethods() []string {
-	return append(CollectiveMethods(), "WaitUntilInt64")
+	// WaitUntilInt64 is the *PE spin-wait; WaitUntil is the typed
+	// Int64Array equivalent — both park the caller until a remote store.
+	return append(CollectiveMethods(), "WaitUntilInt64", "WaitUntil")
 }
 
 // RawOffsetMethods returns, for each *PE (and Int64Array-bypassing) RMA
