@@ -60,6 +60,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cacheMB = fs.Int("cache-mb", 64, "rendered-artifact cache budget in MiB")
 		parseN  = fs.Int("parse-concurrency", 2, "max trace directories parsing at once")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request timeout")
+		snapTTL = fs.Duration("snapshot-ttl", 500*time.Millisecond,
+			"how long directory scans and run fingerprints are reused before re-statting (negative disables)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: actorprofd [-addr host:port] [-dir root] [flags]")
@@ -78,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheBytes:       int64(*cacheMB) << 20,
 		ParseConcurrency: *parseN,
 		RequestTimeout:   *timeout,
+		SnapshotTTL:      *snapTTL,
 	})
 	if err != nil {
 		return err

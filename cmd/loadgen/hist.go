@@ -1,0 +1,128 @@
+package main
+
+import "math/bits"
+
+// hist is an HDR-style latency histogram over non-negative int64
+// microsecond values: base-2 bucket groups of histSub linear sub-buckets
+// each, so any value is resolved to within ~1/histSub relative error
+// while record stays allocation-free and O(1). Values below histSub are
+// exact. Each client owns one hist per traffic class; the harness merges
+// them once at the end, so recording never takes a lock.
+const histSub = 32
+
+// histBuckets covers every index histIndex can produce for an int64
+// (the top group for 63-bit values ends at (62-4)*32 + 31 = 1887).
+const histBuckets = 59 * histSub
+
+type hist struct {
+	counts [histBuckets]int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+// histIndex maps a value to its bucket. For v >= histSub the value is
+// normalized so its top sub-bucket bits land in [histSub, 2*histSub),
+// giving log-spaced groups with linear interiors - the classic HDR
+// layout.
+func histIndex(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= 5
+	shift := uint(k - 5)
+	return (k-4)*histSub + int(v>>shift) - histSub
+}
+
+// histValue reconstructs a representative value for bucket i: exact
+// below 2*histSub, the bucket midpoint above (quantile error is bounded
+// by half the bucket width, ~1.6%).
+func histValue(i int) int64 {
+	if i < 2*histSub {
+		return int64(i)
+	}
+	shift := uint(i/histSub - 1)
+	lower := int64(i%histSub+histSub) << shift
+	return lower + (int64(1)<<shift)/2
+}
+
+func (h *hist) record(v int64) {
+	h.counts[histIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the value at rank ceil(q*total), clamped to the
+// observed maximum (the top bucket's midpoint can overshoot it).
+func (h *hist) quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+func (h *hist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantiles is the JSON shape of one latency distribution, in
+// microseconds.
+type Quantiles struct {
+	Count int64   `json:"count"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func (h *hist) summary() Quantiles {
+	return Quantiles{
+		Count: h.total,
+		P50:   h.quantile(0.50),
+		P90:   h.quantile(0.90),
+		P99:   h.quantile(0.99),
+		P999:  h.quantile(0.999),
+		Max:   h.max,
+		Mean:  h.mean(),
+	}
+}

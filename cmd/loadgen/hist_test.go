@@ -1,0 +1,134 @@
+package main
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// refQuantile is the ground truth the histogram approximates: nearest-
+// rank over a sorted copy.
+func refQuantile(sorted []int64, q float64) int64 {
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestHistQuantilesMatchReferenceSort: over a latency-shaped value
+// stream (a dense floor plus a heavy log-uniform tail), every reported
+// quantile is within the histogram's resolution bound of the exact
+// nearest-rank answer.
+func TestHistQuantilesMatchReferenceSort(t *testing.T) {
+	rng := &splitmix64{state: 42}
+	var h hist
+	var values []int64
+	for i := 0; i < 50000; i++ {
+		var v int64
+		if rng.float64() < 0.7 {
+			v = int64(rng.intn(200)) // the fast-path floor
+		} else {
+			// Log-uniform tail up to ~10s.
+			v = int64(math.Exp(rng.float64() * math.Log(1e7)))
+		}
+		h.record(v)
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := refQuantile(values, q)
+		got := h.quantile(q)
+		tol := float64(want) * 0.05 // 2/histSub resolution plus rank slop
+		if tol < 1 {
+			tol = 1
+		}
+		if math.Abs(float64(got-want)) > tol {
+			t.Errorf("q=%v: hist %d, reference %d (tolerance %.0f)", q, got, want, tol)
+		}
+	}
+	if h.total != int64(len(values)) {
+		t.Errorf("total = %d, want %d", h.total, len(values))
+	}
+	if h.max != values[len(values)-1] {
+		t.Errorf("max = %d, want %d", h.max, values[len(values)-1])
+	}
+}
+
+// TestHistSmallValuesExact: sub-histSub values occupy dedicated unit
+// buckets, so quantiles over them are exact, not approximate.
+func TestHistSmallValuesExact(t *testing.T) {
+	var h hist
+	for v := int64(0); v < histSub; v++ {
+		h.record(v)
+	}
+	if got := h.quantile(0.5); got != 15 && got != 16 {
+		t.Errorf("p50 over 0..31 = %d, want 15 or 16", got)
+	}
+	if got := h.quantile(1.0); got != histSub-1 {
+		t.Errorf("p100 = %d, want %d", got, histSub-1)
+	}
+}
+
+// TestHistMerge: merging two histograms is indistinguishable from
+// recording everything into one.
+func TestHistMerge(t *testing.T) {
+	rng := &splitmix64{state: 7}
+	var a, b, both hist
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.intn(1_000_000))
+		if i%2 == 0 {
+			a.record(v)
+		} else {
+			b.record(v)
+		}
+		both.record(v)
+	}
+	a.merge(&b)
+	if a.total != both.total || a.sum != both.sum || a.max != both.max {
+		t.Fatalf("merge totals (%d,%d,%d) != combined (%d,%d,%d)",
+			a.total, a.sum, a.max, both.total, both.sum, both.max)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.quantile(q) != both.quantile(q) {
+			t.Errorf("q=%v: merged %d != combined %d", q, a.quantile(q), both.quantile(q))
+		}
+	}
+}
+
+// TestHistEmptyAndNegative: an empty histogram reports zeros; negative
+// inputs clamp instead of indexing out of bounds.
+func TestHistEmptyAndNegative(t *testing.T) {
+	var h hist
+	if h.quantile(0.99) != 0 || h.mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.record(-5)
+	if h.total != 1 {
+		t.Error("negative value was not recorded")
+	}
+}
+
+// TestHistIndexMonotonic: the bucket index never decreases as values
+// grow, and every index stays inside the counts array - across the full
+// int64 range.
+func TestHistIndexMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(1); v > 0 && v < 1<<62; v *= 3 {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("histIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range %d", v, i, histBuckets)
+		}
+		prev = i
+	}
+	if i := histIndex(math.MaxInt64); i >= histBuckets {
+		t.Fatalf("histIndex(MaxInt64) = %d out of range %d", i, histBuckets)
+	}
+}

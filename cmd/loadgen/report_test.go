@@ -1,0 +1,129 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport(p99 int64) Report {
+	return Report{
+		Schema: reportSchema,
+		Config: RunConfig{Transport: "inproc", Target: "/t", Clients: 100, DurationS: 10,
+			WarmupS: 2, ZipfS: 1.1, Seed: 1, ScanFrac: 0.1, RunsFrac: 0.05,
+			ConditionalFrac: 0.25, GzipFrac: 0.5, Runs: 4, Targets: 16},
+		Totals:  Totals{Requests: 100000, Bytes: 1 << 30, ClientsActive: 100, ThroughputRPS: 10000},
+		Status:  map[string]int64{"200": 90000, "304": 10000},
+		Latency: Quantiles{Count: 100000, P50: 120, P90: 500, P99: p99, P999: p99 * 2, Max: p99 * 3, Mean: 200},
+		Classes: map[string]ClassStats{
+			"plot": {Requests: 85000, Latency: Quantiles{Count: 85000, P50: 100, P99: p99}},
+		},
+	}
+}
+
+// TestReportRoundTrip: LOAD.json survives write-then-load intact.
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOAD.json")
+	want := sampleReport(20000)
+	if err := writeReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mutated the report:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoadReportRejectsWrongSchema: a gate never compares documents
+// from an incompatible loadgen.
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOAD.json")
+	r := sampleReport(100)
+	r.Schema = 99
+	if err := writeReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema loaded without error (err=%v)", err)
+	}
+}
+
+var defaultGate = gateOpts{threshold: 0.25, floorUs: 5000, maxErrorRate: 0.001, minActive: 0.95}
+
+// TestCompareGateOnP99Regression: a synthetic p99 regression beyond the
+// threshold (and above the floor) trips the gate; the same relative
+// regression below the floor, or within the threshold, does not.
+func TestCompareGateOnP99Regression(t *testing.T) {
+	base := sampleReport(20000)
+
+	if text, failures := compareReports(base, sampleReport(40000), defaultGate); failures == 0 {
+		t.Errorf("2x p99 regression above the floor did not trip the gate:\n%s", text)
+	}
+	if text, failures := compareReports(base, sampleReport(23000), defaultGate); failures != 0 {
+		t.Errorf("+15%% p99 within the 25%% threshold tripped the gate:\n%s", text)
+	}
+	// A 2x regression entirely below the floor: noise on fast hardware.
+	tiny := sampleReport(1000)
+	if text, failures := compareReports(tiny, sampleReport(2000), defaultGate); failures != 0 {
+		t.Errorf("sub-floor regression tripped the gate:\n%s", text)
+	}
+}
+
+// TestCompareGateOnAbsoluteBudget: -max-p99 is an absolute ceiling,
+// independent of the baseline.
+func TestCompareGateOnAbsoluteBudget(t *testing.T) {
+	opts := defaultGate
+	opts.maxP99Us = 250000
+	base := sampleReport(200000)
+	if _, failures := compareReports(base, sampleReport(240000), opts); failures != 0 {
+		t.Error("p99 within the absolute budget tripped the gate")
+	}
+	if _, failures := compareReports(base, sampleReport(240000), gateOpts{threshold: 0.25, floorUs: 5000, maxErrorRate: 0.001, maxP99Us: 100000}); failures == 0 {
+		t.Error("p99 over the absolute budget did not trip the gate")
+	}
+}
+
+// TestCompareGateOnErrorRate: transport errors and 5xx statuses count
+// against the error budget; 2xx/3xx/4xx do not.
+func TestCompareGateOnErrorRate(t *testing.T) {
+	base := sampleReport(20000)
+
+	bad := sampleReport(20000)
+	bad.Totals.Errors = 500
+	bad.Errors = map[string]int64{"connection refused": 500}
+	if text, failures := compareReports(base, bad, defaultGate); failures == 0 {
+		t.Errorf("0.5%% transport errors did not trip the 0.1%% gate:\n%s", text)
+	}
+
+	bad5xx := sampleReport(20000)
+	bad5xx.Status["503"] = 500
+	if _, failures := compareReports(base, bad5xx, defaultGate); failures == 0 {
+		t.Error("5xx responses did not count against the error budget")
+	}
+
+	with304 := sampleReport(20000) // 10% 304s in sampleReport already
+	if _, failures := compareReports(base, with304, defaultGate); failures != 0 {
+		t.Error("304 responses counted as errors")
+	}
+}
+
+// TestCompareGateOnClientStarvation: a server that parks most clients
+// in never-finishing requests posts survivorship-biased quantiles; the
+// clients_active check catches it even when every *recorded* latency
+// looks healthy.
+func TestCompareGateOnClientStarvation(t *testing.T) {
+	base := sampleReport(20000)
+	starved := sampleReport(20000)
+	starved.Totals.ClientsActive = 18 // of 100 configured clients
+	text, failures := compareReports(base, starved, defaultGate)
+	if failures == 0 {
+		t.Errorf("18/100 active clients did not trip the gate:\n%s", text)
+	}
+	if _, failures := compareReports(base, sampleReport(20000), defaultGate); failures != 0 {
+		t.Error("fully-active run tripped the starvation gate")
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// splitmix64 is the SplitMix64 generator: tiny, fast, and - unlike
+// math/rand's default source - specified bit-for-bit, so a committed
+// LOAD.json is reproducible from the seed it records on any platform.
+// It is also designed to produce independent streams from sequential
+// seeds, which is exactly how per-client generators are derived.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n). The modulo bias is far below
+// anything a workload mix could observe.
+func (s *splitmix64) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// zipf draws ranks 0..n-1 with probability proportional to 1/(rank+1)^s
+// by inverse-CDF lookup over a precomputed cumulative table. n is the
+// target count (hundreds), so the table is small and a draw is one
+// uniform plus a binary search.
+type zipf struct {
+	cum []float64
+	rng *splitmix64
+}
+
+func newZipf(n int, s float64, rng *splitmix64) *zipf {
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipf{cum: cum, rng: rng}
+}
+
+func (z *zipf) draw() int {
+	return sort.SearchFloat64s(z.cum, z.rng.float64())
+}

@@ -1,0 +1,69 @@
+package main
+
+import "testing"
+
+// TestZipfDeterministic: the draw sequence is a pure function of the
+// seed - the property that makes a committed LOAD.json reproducible.
+func TestZipfDeterministic(t *testing.T) {
+	draw := func(seed uint64) []int {
+		rng := &splitmix64{state: seed}
+		z := newZipf(50, 1.1, rng)
+		out := make([]int, 1000)
+		for i := range out {
+			out[i] = z.draw()
+		}
+		return out
+	}
+	a, b := draw(123), draw(123)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := draw(124)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfSkewAndRange: draws stay in [0, n) and the distribution is
+// actually zipfian - rank 0 dominates, and frequency falls with rank.
+func TestZipfSkewAndRange(t *testing.T) {
+	const n, draws = 100, 50000
+	rng := &splitmix64{state: 9}
+	z := newZipf(n, 1.1, rng)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r := z.draw()
+		if r < 0 || r >= n {
+			t.Fatalf("draw %d out of range [0,%d)", r, n)
+		}
+		counts[r]++
+	}
+	if counts[0] < draws/10 {
+		t.Errorf("rank 0 drawn %d/%d times; zipfian s=1.1 should put >10%% of mass there", counts[0], draws)
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[90] {
+		t.Errorf("frequency not falling with rank: counts[0]=%d counts[10]=%d counts[90]=%d",
+			counts[0], counts[10], counts[90])
+	}
+}
+
+// TestSplitmixFloatRange: float64 draws stay in [0,1), which the class
+// mixing and the zipf inverse-CDF both assume.
+func TestSplitmixFloatRange(t *testing.T) {
+	rng := &splitmix64{state: 1}
+	for i := 0; i < 100000; i++ {
+		f := rng.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 draw %v outside [0,1)", f)
+		}
+	}
+}

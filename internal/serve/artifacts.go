@@ -26,11 +26,15 @@ func noData(format string, args ...any) error {
 
 // artifact is one servable plot kind: an availability check against the
 // trace's features, an SVG renderer, and a JSON payload builder. The
-// param is the request's ?event= value (used by the PAPI plots).
+// param is the request's ?event= value; only kinds that declare
+// usesParam receive it (and key their cache entries on it) - for every
+// other kind the parameter is ignored entirely, so it cannot mint
+// distinct cache entries for identical bytes.
 type artifact struct {
-	check func(s trace.Source) error
-	plot  func(s trace.Source, param string) (viz.Plot, error)
-	json  func(s trace.Source, param string) (any, error)
+	check     func(s trace.Source) error
+	plot      func(s trace.Source, param string) (viz.Plot, error)
+	json      func(s trace.Source, param string) (any, error)
+	usesParam bool
 }
 
 func needLogical(s trace.Source) error {
@@ -120,7 +124,8 @@ var artifacts = map[string]artifact{
 		},
 	},
 	"papi-bar": {
-		check: needPAPI,
+		check:     needPAPI,
+		usesParam: true,
 		plot: func(s trace.Source, param string) (viz.Plot, error) {
 			ev, err := papiEvent(s, param)
 			if err != nil {

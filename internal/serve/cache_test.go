@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mkRender(size int) func() (renderResult, error) {
+	return func() (renderResult, error) {
+		return renderResult{data: make([]byte, size), contentType: "test"}, nil
+	}
+}
+
+// TestAdmissionSurvivesOneShotScan: a hot set that has earned promotion
+// (hit at least twice) must survive an adversarial scan of one-shot
+// keys large enough to recycle the whole byte budget many times over.
+func TestAdmissionSurvivesOneShotScan(t *testing.T) {
+	const budget = 100_000
+	const entry = 10_000
+	c := newCache(budget, newMetrics())
+
+	// Five hot artifacts: rendered once, then hit to promote.
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("hot%d", i)
+		if _, err := c.getOrRender(key, mkRender(entry)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.getOrRender(key, func() (renderResult, error) {
+			t.Fatalf("%s re-rendered on immediate second access", key)
+			return renderResult{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The scan: 500 distinct keys seen exactly once, 50x the budget.
+	for i := 0; i < 500; i++ {
+		if _, err := c.getOrRender(fmt.Sprintf("scan%d", i), mkRender(entry)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var reRendered atomic.Int64
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("hot%d", i)
+		if _, err := c.getOrRender(key, func() (renderResult, error) {
+			reRendered.Add(1)
+			return renderResult{data: make([]byte, entry)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := reRendered.Load(); n != 0 {
+		t.Errorf("%d of 5 hot artifacts were evicted by a one-shot scan; the promoted set must survive", n)
+	}
+	prob, prot, entries, consistent := c.accounting()
+	if !consistent {
+		t.Errorf("byte accounting inconsistent: prob=%d prot=%d entries=%d", prob, prot, entries)
+	}
+	if prob+prot > budget {
+		t.Errorf("resident bytes %d exceed budget %d", prob+prot, budget)
+	}
+}
+
+// TestAdmissionReplacesColdProtectedSet: scan resistance must not mean
+// permanence - a *new* hot set that keeps getting hit is promoted and
+// replaces a protected set that stopped being requested.
+func TestAdmissionReplacesColdProtectedSet(t *testing.T) {
+	const budget = 100_000
+	const entry = 30_000 // 3 fit in the 80% protected cap (80_000 holds 2)
+	c := newCache(budget, newMetrics())
+	for gen := 0; gen < 3; gen++ {
+		for i := 0; i < 2; i++ {
+			key := fmt.Sprintf("gen%d-%d", gen, i)
+			c.getOrRender(key, mkRender(entry))
+			for hit := 0; hit < 3; hit++ {
+				c.getOrRender(key, func() (renderResult, error) {
+					return renderResult{}, fmt.Errorf("unexpected render of %s", key)
+				})
+			}
+		}
+	}
+	// The newest generation is resident; the oldest is gone.
+	for i := 0; i < 2; i++ {
+		if !c.contains(fmt.Sprintf("gen2-%d", i)) {
+			t.Errorf("newest hot entry gen2-%d was evicted", i)
+		}
+		if c.contains(fmt.Sprintf("gen0-%d", i)) {
+			t.Errorf("stale protected entry gen0-%d was never replaced", i)
+		}
+	}
+	if _, _, _, consistent := c.accounting(); !consistent {
+		t.Error("byte accounting inconsistent after protected-set turnover")
+	}
+}
+
+// TestCacheSoakRace drives concurrent zipfian-ish hot traffic plus
+// one-shot scan traffic through the cache under -race: single-flight
+// must hold (never two concurrent renders of one key), the hot set must
+// stay mostly resident, and byte accounting must stay exact and
+// non-negative throughout.
+func TestCacheSoakRace(t *testing.T) {
+	const (
+		budget  = 64 << 10
+		workers = 8
+		iters   = 4000
+		hotKeys = 8
+	)
+	c := newCache(budget, newMetrics())
+	var inflight [hotKeys]atomic.Int32
+	var scanSeq atomic.Int64
+
+	stop := make(chan struct{})
+	var auditErr atomic.Value
+	go func() {
+		// Concurrent auditor: accounting must hold at every sampled
+		// instant, not just at the end.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			prob, prot, _, consistent := c.accounting()
+			if !consistent || prob < 0 || prot < 0 {
+				auditErr.Store(fmt.Sprintf("accounting diverged mid-soak: prob=%d prot=%d consistent=%v", prob, prot, consistent))
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < iters; i++ {
+				if rng.Intn(100) < 70 {
+					// Hot traffic: skewed toward low key indices.
+					k := rng.Intn(hotKeys)
+					if rng.Intn(2) == 0 {
+						k = 0
+					}
+					key := fmt.Sprintf("hot%d", k)
+					size := 1024 * (k + 1)
+					c.getOrRender(key, func() (renderResult, error) {
+						if n := inflight[k].Add(1); n != 1 {
+							t.Errorf("single-flight violated: %d concurrent renders of %s", n, key)
+						}
+						defer inflight[k].Add(-1)
+						return renderResult{data: make([]byte, size)}, nil
+					})
+				} else {
+					// Scan traffic: globally unique one-shot keys.
+					key := fmt.Sprintf("scan%d", scanSeq.Add(1))
+					c.getOrRender(key, mkRender(2048))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	if msg := auditErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	prob, prot, entries, consistent := c.accounting()
+	if !consistent {
+		t.Fatalf("final accounting inconsistent: prob=%d prot=%d entries=%d", prob, prot, entries)
+	}
+	if prob < 0 || prot < 0 {
+		t.Fatalf("negative segment bytes: prob=%d prot=%d", prob, prot)
+	}
+	if prob+prot > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", prob+prot, budget)
+	}
+	// The hottest key is hammered from every worker; it must be resident.
+	if !c.contains("hot0") {
+		t.Error("hottest key not resident after soak")
+	}
+}
+
+// TestCacheErrorsNotCached: render errors propagate to every waiter and
+// leave no entry (and no bytes) behind.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newCache(1<<20, newMetrics())
+	boom := fmt.Errorf("render exploded")
+	if _, err := c.getOrRender("k", func() (renderResult, error) { return renderResult{}, boom }); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c.len() != 0 {
+		t.Errorf("failed render left %d entries", c.len())
+	}
+	var rendered bool
+	c.getOrRender("k", func() (renderResult, error) {
+		rendered = true
+		return renderResult{data: []byte("ok")}, nil
+	})
+	if !rendered {
+		t.Error("second attempt did not re-render after an error")
+	}
+	if prob, prot, _, consistent := c.accounting(); !consistent || prob+prot != 2 {
+		t.Errorf("accounting after error+retry: prob=%d prot=%d consistent=%v", prob, prot, consistent)
+	}
+}

@@ -24,6 +24,10 @@ type Metrics struct {
 	renders        atomic.Int64
 	renderNanos    atomic.Int64
 	skippedLines   atomic.Int64
+	scans          atomic.Int64 // registry root-directory scans (ReadDir storms)
+	fingerprints   atomic.Int64 // per-run fingerprint stats of a trace directory
+	notModified    atomic.Int64 // conditional requests answered 304
+	gzipResponses  atomic.Int64 // responses served with Content-Encoding: gzip
 
 	mu        sync.Mutex
 	responses map[int]int64 // HTTP status -> count
@@ -58,6 +62,18 @@ func (m *Metrics) CacheHits() int64 {
 
 // CacheMisses returns how many requests had to render.
 func (m *Metrics) CacheMisses() int64 { return m.cacheMisses.Load() }
+
+// RegistryScans returns how many times the registry re-read the served
+// root from disk (the O(runs) stat walk the snapshot amortizes).
+func (m *Metrics) RegistryScans() int64 { return m.scans.Load() }
+
+// Fingerprints returns how many per-run directory fingerprints were
+// computed from disk (vs. reused from the snapshot window).
+func (m *Metrics) Fingerprints() int64 { return m.fingerprints.Load() }
+
+// NotModified returns how many conditional requests were answered with
+// a body-less 304.
+func (m *Metrics) NotModified() int64 { return m.notModified.Load() }
 
 // HitRatio is the fraction of cache lookups served without rendering
 // (0 when nothing has been looked up yet).
@@ -102,6 +118,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	emit("actorprofd_render_seconds_total", "Cumulative time spent rendering artifacts.", "counter",
 		fmt.Sprintf("%.6f", time.Duration(m.renderNanos.Load()).Seconds()))
 	emit("actorprofd_trace_lines_skipped_total", "Malformed trace lines skipped by the tolerant reader.", "counter", m.skippedLines.Load())
+	emit("actorprofd_registry_scans_total", "Root-directory scans (snapshot refreshes).", "counter", m.scans.Load())
+	emit("actorprofd_fingerprints_total", "Trace-directory fingerprints computed from disk.", "counter", m.fingerprints.Load())
+	emit("actorprofd_not_modified_total", "Conditional requests answered 304 Not Modified.", "counter", m.notModified.Load())
+	emit("actorprofd_gzip_responses_total", "Responses served gzip-encoded.", "counter", m.gzipResponses.Load())
 	return cw.n, cw.err
 }
 

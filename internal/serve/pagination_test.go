@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+type runsPage struct {
+	Runs []struct {
+		ID string `json:"id"`
+	} `json:"runs"`
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+}
+
+// TestRunsPaginationProperty: for any page size, walking /api/runs
+// page by page yields every registered run exactly once, in the stable
+// lexicographic order, with a consistent total.
+func TestRunsPaginationProperty(t *testing.T) {
+	const n = 23
+	root := t.TempDir()
+	var wantIDs []string
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("run%03d", i)
+		writeMiniRun(t, root, id, i)
+		wantIDs = append(wantIDs, id)
+	}
+	srv, err := New(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+
+	for _, limit := range []int{1, 2, 3, 5, 7, n, 50} {
+		var got []string
+		for offset := 0; ; {
+			res, body := get(t, h, fmt.Sprintf("/api/runs?offset=%d&limit=%d", offset, limit))
+			if res.StatusCode != http.StatusOK {
+				t.Fatalf("limit=%d offset=%d: status %d (%s)", limit, offset, res.StatusCode, body)
+			}
+			var page runsPage
+			if err := json.Unmarshal([]byte(body), &page); err != nil {
+				t.Fatal(err)
+			}
+			if page.Total != n {
+				t.Fatalf("limit=%d offset=%d: total = %d, want %d", limit, offset, page.Total, n)
+			}
+			if len(page.Runs) == 0 {
+				break
+			}
+			for _, r := range page.Runs {
+				got = append(got, r.ID)
+			}
+			offset += len(page.Runs)
+		}
+		if len(got) != n {
+			t.Fatalf("limit=%d: walked %d runs, want %d (each exactly once)", limit, len(got), n)
+		}
+		for i, id := range got {
+			if id != wantIDs[i] {
+				t.Fatalf("limit=%d: position %d = %q, want %q (stable sorted order)", limit, i, id, wantIDs[i])
+			}
+		}
+	}
+
+	// Degenerate windows are well-formed, not errors.
+	for _, q := range []string{"?offset=1000", "?limit=0", "?offset=23&limit=5"} {
+		res, body := get(t, h, "/api/runs"+q)
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", q, res.StatusCode)
+		}
+		var page runsPage
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			t.Errorf("%s: bad JSON: %v", q, err)
+		} else if len(page.Runs) != 0 || page.Total != n {
+			t.Errorf("%s: %d runs total %d, want empty page with total %d", q, len(page.Runs), page.Total, n)
+		}
+	}
+
+	// The default (no parameters) still returns everything when the run
+	// count is below the default page size.
+	_, body := get(t, h, "/api/runs")
+	var page runsPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Runs) != n {
+		t.Errorf("default listing returned %d runs, want %d", len(page.Runs), n)
+	}
+}
+
+// TestRunsPaginationRejectsGarbage: offset/limit values that are not
+// non-negative integers are a 400, never a 500 or a panic.
+func TestRunsPaginationRejectsGarbage(t *testing.T) {
+	srv, _ := newTestServer(t)
+	h := srv.Handler()
+	for _, q := range []string{
+		"?offset=-1", "?limit=-1", "?offset=abc", "?limit=1e9",
+		"?offset=0x10", "?limit=99999999999999999999", "?offset=%20", "?limit=1.5",
+	} {
+		res, body := get(t, h, "/api/runs"+q)
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", q, res.StatusCode, body)
+		}
+	}
+}
+
+// FuzzRunsPagination hammers the pagination parameters with arbitrary
+// strings: any input must produce a well-formed HTTP response below
+// 500, and a 200 must carry valid JSON.
+func FuzzRunsPagination(f *testing.F) {
+	root := f.TempDir()
+	for i := 0; i < 3; i++ {
+		writeMiniRun(f, root, fmt.Sprintf("run%d", i), i)
+	}
+	srv, err := New(Config{Root: root})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := srv.Handler()
+	for _, seed := range [][2]string{
+		{"", ""}, {"0", "1"}, {"-1", "-1"}, {"abc", "def"},
+		{"99999999999999999999", "99999999999999999999"},
+		{"1e9", "0x10"}, {" 5", "5 "}, {"\x00", "∞"}, {"2147483647", "2147483647"},
+	} {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, offset, limit string) {
+		q := url.Values{}
+		if offset != "" {
+			q.Set("offset", offset)
+		}
+		if limit != "" {
+			q.Set("limit", limit)
+		}
+		req := httptest.NewRequest("GET", "/api/runs?"+q.Encode(), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("offset=%q limit=%q: status %d", offset, limit, rec.Code)
+		}
+		if rec.Code == 200 {
+			var page runsPage
+			if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+				t.Fatalf("offset=%q limit=%q: 200 with invalid JSON: %v", offset, limit, err)
+			}
+			if page.Total != 3 {
+				t.Fatalf("offset=%q limit=%q: total = %d, want 3", offset, limit, page.Total)
+			}
+		}
+	})
+}

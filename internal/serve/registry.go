@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"actorprof/internal/papi"
 	"actorprof/internal/trace"
 )
 
@@ -30,10 +31,25 @@ type RunInfo struct {
 // registry resolves run IDs to trace directories and caches their parsed
 // Sets, keyed by a directory fingerprint so that a directory still being
 // streamed into is re-parsed when (and only when) its files change.
+//
+// Disk metadata work is amortized by a snapshot window (ttl): the root
+// scan (ReadDir + one Stat per child) and each run's fingerprint
+// (ReadDir + one Stat per file) are reused for up to ttl before being
+// re-read. Before the window existed, every request paid both walks -
+// O(runs + files) stat calls per request - which was the dominant
+// latency term loadgen surfaced at high concurrency
+// (TestSnapshotBoundsRegistryScans pins the fix). A run created less
+// than ttl ago is still found: a miss against a fresh snapshot forces
+// one re-scan before 404ing.
 type registry struct {
 	root     string
+	ttl      time.Duration // <= 0 disables the snapshot window
 	metrics  *Metrics
 	parseSem chan struct{} // bounds concurrent ReadSetLive calls
+
+	snapMu   sync.Mutex
+	snapDirs map[string]string
+	snapAt   time.Time
 
 	mu   sync.Mutex
 	runs map[string]*runEntry
@@ -41,16 +57,24 @@ type registry struct {
 
 type runEntry struct {
 	mu      sync.Mutex // serializes parsing of this one run
-	fp      string
+	fp      string     // fingerprint the cached parse corresponds to
 	sum     *trace.Summary
-	set     *trace.Set // full records; parsed lazily for trace-events only
+	src     *shardSource // precomputed aggregate view over sum
+	set     *trace.Set   // full records; parsed lazily for trace-events only
 	skipped int
 	live    bool
+
+	// Last fingerprint observed on disk and when; reused within the
+	// snapshot window so hot runs are not re-statted per request.
+	curFP   string
+	curLive bool
+	fpAt    time.Time
 }
 
-func newRegistry(root string, parseConcurrency int, m *Metrics) *registry {
+func newRegistry(root string, parseConcurrency int, ttl time.Duration, m *Metrics) *registry {
 	return &registry{
 		root:     root,
+		ttl:      ttl,
 		metrics:  m,
 		parseSem: make(chan struct{}, parseConcurrency),
 		runs:     make(map[string]*runEntry),
@@ -75,11 +99,12 @@ func rootID(root string) string {
 	return id
 }
 
-// scan maps run IDs to directories: the root itself when it is a trace
-// directory, plus every immediate child directory that is one. A child
-// whose name collides with the root's ID wins (the root stays reachable
-// by moving the trace into a child).
-func (r *registry) scan() (map[string]string, error) {
+// scanDisk maps run IDs to directories: the root itself when it is a
+// trace directory, plus every immediate child directory that is one. A
+// child whose name collides with the root's ID wins (the root stays
+// reachable by moving the trace into a child).
+func (r *registry) scanDisk() (map[string]string, error) {
+	r.metrics.scans.Add(1)
 	dirs := make(map[string]string)
 	if isTraceDir(r.root) {
 		dirs[rootID(r.root)] = r.root
@@ -97,6 +122,28 @@ func (r *registry) scan() (map[string]string, error) {
 			dirs[e.Name()] = sub
 		}
 	}
+	return dirs, nil
+}
+
+// dirs returns the run-ID-to-directory map, reusing the snapshot when
+// it is younger than ttl. The mutex is held across the disk scan so a
+// burst of requests arriving at window expiry performs one scan, not
+// one per request. force skips the freshness check (used to re-check
+// for a run created inside the current window).
+func (r *registry) dirs(force bool) (map[string]string, error) {
+	if r.ttl <= 0 {
+		return r.scanDisk()
+	}
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	if !force && r.snapDirs != nil && time.Since(r.snapAt) < r.ttl {
+		return r.snapDirs, nil
+	}
+	dirs, err := r.scanDisk()
+	if err != nil {
+		return nil, err
+	}
+	r.snapDirs, r.snapAt = dirs, time.Now()
 	return dirs, nil
 }
 
@@ -125,20 +172,23 @@ func fingerprint(dir string) (fp string, live bool, err error) {
 	return b.String(), live, nil
 }
 
-// entry resolves a run ID to its directory, current fingerprint, and
-// cache slot.
-func (r *registry) entry(id string) (dir, fp string, live bool, e *runEntry, err error) {
-	dirs, err := r.scan()
+// entry resolves a run ID to its directory and cache slot. The
+// fingerprint is taken separately (freshFP) under the entry's lock.
+func (r *registry) entry(id string) (dir string, e *runEntry, err error) {
+	dirs, err := r.dirs(false)
 	if err != nil {
-		return "", "", false, nil, err
+		return "", nil, err
 	}
 	dir, ok := dirs[id]
-	if !ok {
-		return "", "", false, nil, statusError{code: 404, msg: fmt.Sprintf("unknown run %q", id)}
+	if !ok && r.ttl > 0 {
+		// The run may have been created inside the snapshot window.
+		if dirs, err = r.dirs(true); err != nil {
+			return "", nil, err
+		}
+		dir, ok = dirs[id]
 	}
-	fp, live, err = fingerprint(dir)
-	if err != nil {
-		return "", "", false, nil, err
+	if !ok {
+		return "", nil, statusError{code: 404, msg: fmt.Sprintf("unknown run %q", id)}
 	}
 	r.mu.Lock()
 	e = r.runs[id]
@@ -147,21 +197,42 @@ func (r *registry) entry(id string) (dir, fp string, live bool, e *runEntry, err
 		r.runs[id] = e
 	}
 	r.mu.Unlock()
-	return dir, fp, live, e, nil
+	return dir, e, nil
 }
 
-// load returns the run's streamed Summary (the O(PEs^2) aggregate every
-// standard plot consumes; per-record slices are never materialized),
-// along with its fingerprint (the cache-key component) and its RunInfo.
-// It re-parses only when the directory changed since the last parse, and
-// bounds how many parses run at once across all runs.
-func (r *registry) load(id string) (*trace.Summary, string, RunInfo, error) {
-	dir, fp, live, e, err := r.entry(id)
+// freshFP returns the run's current fingerprint, re-reading the
+// directory only when the cached observation is older than the snapshot
+// window. Callers must hold e.mu.
+func (r *registry) freshFP(dir string, e *runEntry) (fp string, live bool, err error) {
+	if r.ttl > 0 && e.curFP != "" && time.Since(e.fpAt) < r.ttl {
+		return e.curFP, e.curLive, nil
+	}
+	r.metrics.fingerprints.Add(1)
+	fp, live, err = fingerprint(dir)
+	if err != nil {
+		return "", false, err
+	}
+	e.curFP, e.curLive, e.fpAt = fp, live, time.Now()
+	return fp, live, nil
+}
+
+// load returns the run's aggregate view (a shardSource: the streamed
+// Summary plus its precomputed matrices, so repeated renders across
+// plot kinds share one aggregation pass), along with its fingerprint
+// (the cache-key component) and its RunInfo. It re-parses only when the
+// directory changed since the last parse, and bounds how many parses
+// run at once across all runs.
+func (r *registry) load(id string) (trace.Source, string, RunInfo, error) {
+	dir, e, err := r.entry(id)
 	if err != nil {
 		return nil, "", RunInfo{}, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	fp, live, err := r.freshFP(dir, e)
+	if err != nil {
+		return nil, "", RunInfo{}, err
+	}
 	if e.sum == nil || e.fp != fp {
 		r.parseSem <- struct{}{}
 		start := time.Now()
@@ -172,9 +243,10 @@ func (r *registry) load(id string) (*trace.Summary, string, RunInfo, error) {
 			return nil, "", RunInfo{}, fmt.Errorf("serve: parsing run %q: %w", id, err)
 		}
 		e.sum, e.fp, e.skipped, e.live = sum, fp, skipped, live
+		e.src = newShardSource(sum)
 		e.set = nil // records from the previous fingerprint are stale
 	}
-	return e.sum, e.fp, r.infoLocked(id, dir, e), nil
+	return e.src, e.fp, r.infoLocked(id, dir, e), nil
 }
 
 // loadSet returns the run's fully materialized Set - needed only by the
@@ -182,12 +254,16 @@ func (r *registry) load(id string) (*trace.Summary, string, RunInfo, error) {
 // is parsed lazily and cached next to the Summary under the same
 // fingerprint.
 func (r *registry) loadSet(id string) (*trace.Set, string, error) {
-	dir, fp, live, e, err := r.entry(id)
+	dir, e, err := r.entry(id)
 	if err != nil {
 		return nil, "", err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	fp, live, err := r.freshFP(dir, e)
+	if err != nil {
+		return nil, "", err
+	}
 	if e.set == nil || e.fp != fp {
 		r.parseSem <- struct{}{}
 		start := time.Now()
@@ -198,23 +274,38 @@ func (r *registry) loadSet(id string) (*trace.Set, string, error) {
 			return nil, "", fmt.Errorf("serve: parsing run %q: %w", id, err)
 		}
 		e.set, e.sum, e.fp, e.skipped, e.live = set, set.Summary(), fp, skipped, live
+		e.src = newShardSource(e.sum)
 	}
 	return e.set, e.fp, nil
 }
 
-// list scans the root and returns every run's info, parsing as needed.
-func (r *registry) list() ([]RunInfo, error) {
-	dirs, err := r.scan()
+// listPage scans the root and returns the runs in [offset, offset+limit)
+// of the stable (lexicographically sorted) run-ID order, along with the
+// total run count. limit < 0 means "to the end". Only the runs inside
+// the window are parsed, so paging over thousands of runs costs one
+// page of parses, not all of them.
+func (r *registry) listPage(offset, limit int) ([]RunInfo, int, error) {
+	dirs, err := r.dirs(false)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ids := make([]string, 0, len(dirs))
 	for id := range dirs {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	infos := make([]RunInfo, 0, len(ids))
-	for _, id := range ids {
+	total := len(ids)
+	if offset > total {
+		offset = total
+	}
+	end := total
+	// Compare via the window size, not offset+limit, which can overflow
+	// for adversarial ?limit= values near MaxInt.
+	if limit >= 0 && limit < end-offset {
+		end = offset + limit
+	}
+	infos := make([]RunInfo, 0, end-offset)
+	for _, id := range ids[offset:end] {
 		_, _, info, err := r.load(id)
 		if err != nil {
 			// A run that fails to parse stays listed (its ID is real) with
@@ -225,7 +316,23 @@ func (r *registry) list() ([]RunInfo, error) {
 		}
 		infos = append(infos, info)
 	}
-	return infos, nil
+	return infos, total, nil
+}
+
+// list returns every run's info, parsing as needed.
+func (r *registry) list() ([]RunInfo, error) {
+	infos, _, err := r.listPage(0, -1)
+	return infos, err
+}
+
+// count returns the number of runs under the root (the healthz number)
+// without parsing any of them.
+func (r *registry) count() (int, error) {
+	dirs, err := r.dirs(false)
+	if err != nil {
+		return 0, err
+	}
+	return len(dirs), nil
 }
 
 func (r *registry) infoLocked(id, dir string, e *runEntry) RunInfo {
@@ -251,4 +358,49 @@ func (r *registry) infoLocked(id, dir string, e *runEntry) RunInfo {
 		info.Features = append(info.Features, "papi")
 	}
 	return info
+}
+
+// shardSource wraps a parsed Summary with its derived aggregates
+// precomputed once per fingerprint: the logical and physical matrices
+// and the per-event PAPI totals that several plot kinds re-derive on
+// every render (PhysicalMatrix alone is consumed by physical-heatmap,
+// node-heatmap, and physical-violin, each summing the per-kind matrices
+// afresh). The shard is built under the runEntry lock at parse time and
+// is read-only afterwards, so renders may share it concurrently.
+type shardSource struct {
+	*trace.Summary
+	logical  trace.Matrix
+	physical trace.Matrix
+	papiTot  [][]int64 // parallel to Config.PAPIEvents
+}
+
+func newShardSource(sum *trace.Summary) *shardSource {
+	s := &shardSource{
+		Summary:  sum,
+		logical:  sum.LogicalMatrix(),
+		physical: sum.PhysicalMatrix(),
+	}
+	events := sum.Config.PAPIEvents
+	s.papiTot = make([][]int64, len(events))
+	for i, ev := range events {
+		s.papiTot[i] = sum.PAPITotalsPerPE(ev)
+	}
+	return s
+}
+
+// LogicalMatrix returns the precomputed pre-aggregation send matrix.
+func (s *shardSource) LogicalMatrix() trace.Matrix { return s.logical }
+
+// PhysicalMatrix returns the precomputed data-movement buffer matrix.
+func (s *shardSource) PhysicalMatrix() trace.Matrix { return s.physical }
+
+// PAPITotalsPerPE returns the precomputed per-PE totals for ev (zeros
+// for an unconfigured event).
+func (s *shardSource) PAPITotalsPerPE(ev papi.Event) []int64 {
+	for i, have := range s.Config.PAPIEvents {
+		if have == ev {
+			return s.papiTot[i]
+		}
+	}
+	return make([]int64, s.NumPEs)
 }

@@ -5,20 +5,27 @@
 // plots, PAPI bars, and overall stacked bars of the paper's figures - as
 // SVG documents and JSON payloads, plus the chrome://tracing export.
 //
-// Rendered artifacts live in a byte-budgeted LRU cache with
-// single-flight de-duplication: concurrent requests for the same plot
-// render it once. Cache keys embed a fingerprint of the trace
+// Rendered artifacts live in a byte-budgeted, scan-resistant segmented
+// LRU cache with single-flight de-duplication: concurrent requests for
+// the same plot render it once, and one-shot scans cannot evict the
+// promoted hot set. Cache keys embed a fingerprint of the trace
 // directory's files, so live directories re-render exactly when their
-// contents change, with no invalidation protocol.
+// contents change, with no invalidation protocol. The same fingerprint
+// doubles as the ETag source, so unchanged artifacts revalidate with a
+// body-less 304 without touching the render path, and responses are
+// served gzip-encoded when the client accepts it.
 package serve
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,7 +45,25 @@ type Config struct {
 	ParseConcurrency int
 	// RequestTimeout bounds each request end to end (default 30s).
 	RequestTimeout time.Duration
+	// SnapshotTTL is how long the registry reuses its root scan and
+	// per-run fingerprints before re-reading disk metadata (default
+	// 500ms; negative disables the window so every request re-stats,
+	// which live-ingestion tests use for immediacy).
+	SnapshotTTL time.Duration
+	// GzipMinBytes is the smallest artifact worth gzip-encoding
+	// (default 860; non-positive keeps the default, use a huge value to
+	// effectively disable compression).
+	GzipMinBytes int
 }
+
+// defaultRunsLimit bounds how many runs one /api/runs response returns
+// when the client does not pass ?limit=: over thousands of runs an
+// unpaginated listing would parse every directory and buffer an
+// unbounded JSON document per request.
+const defaultRunsLimit = 1000
+
+// indexRunsLimit bounds the HTML index the same way.
+const indexRunsLimit = 200
 
 // Server serves trace directories over HTTP. Create one with New and
 // mount Handler on an http.Server.
@@ -68,12 +93,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.SnapshotTTL == 0 {
+		cfg.SnapshotTTL = 500 * time.Millisecond
+	}
+	if cfg.GzipMinBytes <= 0 {
+		cfg.GzipMinBytes = 860
+	}
+	ttl := cfg.SnapshotTTL
+	if ttl < 0 {
+		ttl = 0 // registry treats <= 0 as "no snapshot window"
+	}
 	m := newMetrics()
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
 		cache:   newCache(cfg.CacheBytes, m),
-		reg:     newRegistry(cfg.Root, cfg.ParseConcurrency, m),
+		reg:     newRegistry(cfg.Root, cfg.ParseConcurrency, ttl, m),
 	}
 
 	mux := http.NewServeMux()
@@ -128,13 +163,13 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	runs, err := s.reg.scan()
+	n, err := s.reg.count()
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","runs":%d}`+"\n", len(runs))
+	fmt.Fprintf(w, `{"status":"ok","runs":%d}`+"\n", n)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -142,14 +177,154 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteTo(w)
 }
 
+// pageParam parses one ?offset=/?limit= value. An absent value returns
+// def; anything non-numeric, negative, or absurdly large is a 400 -
+// never a panic or a 500 (FuzzRunsPagination pins this).
+func pageParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, statusError{code: 400, msg: fmt.Sprintf("%s must be a non-negative integer, got %q", name, raw)}
+	}
+	return v, nil
+}
+
+// handleRuns serves the run listing as JSON, paginated over the stable
+// lexicographic run-ID order: ?offset= and ?limit= select the window,
+// "total" carries the full count so clients can page over thousands of
+// runs without the server parsing (or buffering) all of them at once.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	infos, err := s.reg.list()
+	offset, err := pageParam(r, "offset", 0)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"runs": infos})
+	limit, err := pageParam(r, "limit", defaultRunsLimit)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	infos, total, err := s.reg.listPage(offset, limit)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(map[string]any{
+		"runs":   infos,
+		"total":  total,
+		"offset": offset,
+		"limit":  limit,
+	})
+	s.writeNegotiated(w, r, renderResult{data: buf.Bytes(), contentType: "application/json"}, "")
+}
+
+// etagFor derives the strong validator for an artifact from its cache
+// identity: the run, the registry fingerprint (which changes whenever
+// any file in the trace directory does), the artifact name, and the
+// normalized parameter. No render is needed to compute it, so a
+// revalidation of an unchanged artifact costs a fingerprint lookup and
+// a hash - not a parse or a render.
+func etagFor(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(h[:12])
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding allows a
+// gzip response.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		token, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if t := strings.TrimSpace(token); t != "gzip" && t != "*" {
+			continue
+		}
+		if hasQ {
+			if qv, ok := strings.CutPrefix(strings.TrimSpace(q), "q="); ok {
+				if f, err := strconv.ParseFloat(strings.TrimSpace(qv), 64); err == nil && f == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// etagMatches reports whether any member of an If-None-Match header
+// matches the artifact's validator base, in either its identity or its
+// gzip-variant form ("<base>" / "<base>-gz"), or is the wildcard. It
+// returns the matched tag so the 304 can echo the representation the
+// client actually holds.
+func etagMatches(inm, base string) (string, bool) {
+	for _, part := range strings.Split(inm, ",") {
+		tag := strings.TrimSpace(part)
+		if tag == "*" {
+			return `"` + base + `"`, true
+		}
+		val := strings.TrimPrefix(tag, "W/")
+		val = strings.Trim(val, `"`)
+		if val == base || val == base+"-gz" {
+			return tag, true
+		}
+	}
+	return "", false
+}
+
+// writeNegotiated writes res honoring Accept-Encoding, the request
+// method (HEAD gets headers and Content-Length but no body), and - when
+// etagBase is non-empty - attaches the representation's ETag. The
+// gzip variant is only used when it was rendered (res.gz non-nil) and
+// the client accepts it; Vary: Accept-Encoding is always set on
+// compressible endpoints so caches key correctly.
+func (s *Server) writeNegotiated(w http.ResponseWriter, r *http.Request, res renderResult, etagBase string) {
+	data := res.data
+	h := w.Header()
+	h.Set("Vary", "Accept-Encoding")
+	h.Set("Content-Type", res.contentType)
+	etag := etagBase
+	if res.gz != nil && acceptsGzip(r) {
+		data = res.gz
+		h.Set("Content-Encoding", "gzip")
+		s.metrics.gzipResponses.Add(1)
+		if etag != "" {
+			etag += "-gz"
+		}
+	}
+	if etag != "" {
+		h.Set("ETag", `"`+etag+`"`)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(data)
+}
+
+// serveArtifact is the shared conditional-request path for cached
+// renders: an If-None-Match hit against the fingerprint-derived ETag
+// short-circuits to a body-less 304 before the cache is even consulted;
+// otherwise the artifact is fetched (or rendered, single-flight) and
+// written with content negotiation.
+func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, key, etagBase string, render func() (renderResult, error)) {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if matched, ok := etagMatches(inm, etagBase); ok {
+			h := w.Header()
+			h.Set("Vary", "Accept-Encoding")
+			h.Set("ETag", matched)
+			w.WriteHeader(http.StatusNotModified)
+			s.metrics.notModified.Add(1)
+			return
+		}
+	}
+	res, err := s.cache.getOrRender(key, render)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeNegotiated(w, r, res, etagBase)
 }
 
 // handlePlot serves /runs/{run}/plots/{kind}.{svg|json}, the daemon's
@@ -165,7 +340,13 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	art := artifacts[kind]
-	param := r.URL.Query().Get("event")
+	// Only plot kinds that consume ?event= key on it: anything else
+	// would let one URL template mint unbounded distinct cache entries
+	// for identical bytes (TestIrrelevantParamSharesCacheEntry).
+	param := ""
+	if art.usesParam {
+		param = r.URL.Query().Get("event")
+	}
 
 	set, fp, _, err := s.reg.load(runID)
 	if err != nil {
@@ -178,7 +359,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := strings.Join([]string{runID, fp, name, param}, "\x00")
-	res, err := s.cache.getOrRender(key, func() (renderResult, error) {
+	s.serveArtifact(w, r, key, etagFor(runID, fp, name, param), func() (renderResult, error) {
 		start := time.Now()
 		defer func() { s.metrics.observeRender(time.Since(start)) }()
 		if format == "svg" {
@@ -190,7 +371,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 			if err := viz.RenderSVGTo(p, &buf); err != nil {
 				return renderResult{}, err
 			}
-			return renderResult{data: buf.Bytes(), contentType: "image/svg+xml"}, nil
+			return withGzip(renderResult{data: buf.Bytes(), contentType: "image/svg+xml"}, s.cfg.GzipMinBytes), nil
 		}
 		v, err := art.json(set, param)
 		if err != nil {
@@ -200,14 +381,8 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return renderResult{}, err
 		}
-		return renderResult{data: data, contentType: "application/json"}, nil
+		return withGzip(renderResult{data: data, contentType: "application/json"}, s.cfg.GzipMinBytes), nil
 	})
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", res.contentType)
-	w.Write(res.data)
 }
 
 func splitPlotName(name string) (kind, format string, ok bool) {
@@ -239,26 +414,20 @@ func (s *Server) handleTraceEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := strings.Join([]string{runID, fp, "trace-events"}, "\x00")
-	res, err := s.cache.getOrRender(key, func() (renderResult, error) {
+	s.serveArtifact(w, r, key, etagFor(runID, fp, "trace-events"), func() (renderResult, error) {
 		start := time.Now()
 		defer func() { s.metrics.observeRender(time.Since(start)) }()
 		var buf bytes.Buffer
 		if err := set.ExportTraceEvents(&buf); err != nil {
 			return renderResult{}, err
 		}
-		return renderResult{data: buf.Bytes(), contentType: "application/json"}, nil
+		return withGzip(renderResult{data: buf.Bytes(), contentType: "application/json"}, s.cfg.GzipMinBytes), nil
 	})
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", res.contentType)
-	w.Write(res.data)
 }
 
 // handleIndex renders a minimal HTML directory of runs and plot links.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	infos, err := s.reg.list()
+	infos, total, err := s.reg.listPage(0, indexRunsLimit)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -287,6 +456,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		b.WriteString("</ul>\n")
+	}
+	if total > len(infos) {
+		fmt.Fprintf(&b, "<p>...and %d more runs; page them via /api/runs?offset=&amp;limit=.</p>\n", total-len(infos))
 	}
 	fmt.Fprint(w, b.String())
 }

@@ -317,7 +317,9 @@ func TestLiveDirIngestion(t *testing.T) {
 	for i := 0; i < records; i++ {
 		pcs[0].LogicalSend(0, 1, 8)
 	}
-	srv, err := New(Config{Root: root})
+	// A negative SnapshotTTL disables the metadata window: this test
+	// needs the daemon to observe every flush immediately.
+	srv, err := New(Config{Root: root, SnapshotTTL: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
