@@ -21,14 +21,20 @@
 // Usage:
 //
 //	actorprof [flags] <trace-dir>
+//	actorprof export [-out file] [-legacy] [-timeline file.svg] [-index] <trace-dir>
 //
 // With no plot flags, every plot the trace directory supports is
-// rendered.
+// rendered. The export subcommand writes the physical trace as a
+// full-model Perfetto / chrome://tracing document (durations, counters,
+// process metadata), can rebuild the time-index sidecar (-index), and
+// can render the windowed activity timeline as SVG (-timeline).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -44,7 +50,110 @@ func main() {
 	}
 }
 
+// runExport is the "actorprof export <trace-dir>" subcommand: it writes
+// the physical trace in the full-model Perfetto form (or the legacy
+// instant-event array with -legacy), optionally rebuilds the time-index
+// sidecar first, and can render the windowed activity timeline as SVG.
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("actorprof export", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "", `output file (default <trace-dir>/trace.perfetto.json, "-" for stdout)`)
+		legacy = fs.Bool("legacy", false,
+			"write the legacy instant-event array (ExportTraceEvents) instead of the full Perfetto model")
+		timeline = fs.String("timeline", "", "also render the activity timeline SVG to this file")
+		lod      = fs.Int("lod", 1, "pyramid level of detail for -timeline (>= 1)")
+		index    = fs.Bool("index", false, "(re)build the time-index sidecar (physical.idx) before exporting")
+		workers  = fs.Int("workers", 0, "parallel trace-parse workers (0 = GOMAXPROCS)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: actorprof export [-out file] [-legacy] [-timeline file.svg] [-index] <trace-dir>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one trace directory, got %d args", fs.NArg())
+	}
+	dir := fs.Arg(0)
+
+	if *index {
+		built, err := trace.BuildTimeIndex(dir)
+		if err != nil {
+			return fmt.Errorf("building time index for %s: %w", dir, err)
+		}
+		if built {
+			fmt.Fprintf(os.Stderr, "actorprof: rebuilt time index for %s\n", dir)
+		}
+	}
+
+	full, _, err := trace.ReadSetOptions(dir, trace.ReadOptions{Workers: *workers})
+	if err != nil {
+		return fmt.Errorf("reading trace directory %s: %w", dir, err)
+	}
+	if !full.Config.Physical {
+		return fmt.Errorf("trace %s has no physical trace; nothing to export", dir)
+	}
+
+	dest := *out
+	if dest == "" {
+		dest = filepath.Join(dir, "trace.perfetto.json")
+	}
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if dest != "-" {
+		if f, err = os.Create(dest); err != nil {
+			return err
+		}
+		w = f
+	}
+	if *legacy {
+		err = full.ExportTraceEvents(w)
+	} else {
+		err = full.ExportPerfetto(w)
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if dest != "-" {
+		fmt.Printf("wrote Trace Event JSON to %s\n", dest)
+	}
+
+	if *timeline != "" {
+		if *lod < 1 {
+			return fmt.Errorf("-timeline needs -lod >= 1, got %d", *lod)
+		}
+		res, err := trace.QueryWindow(dir, trace.Window{T0: math.MinInt64, T1: math.MaxInt64, LOD: *lod})
+		if err != nil {
+			return err
+		}
+		tl, err := core.ActivityTimeline(res,
+			fmt.Sprintf("Physical transfers over time (LOD %d)", res.LOD))
+		if err != nil {
+			return err
+		}
+		doc, err := tl.RenderSVG()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*timeline, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote activity timeline SVG to %s\n", *timeline)
+	}
+	return nil
+}
+
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "export" {
+		return runExport(args[1:])
+	}
 	fs := flag.NewFlagSet("actorprof", flag.ContinueOnError)
 	var (
 		logical     = fs.Bool("l", false, "render the logical-trace heatmap")

@@ -25,6 +25,11 @@ var hotPath = map[string]bool{
 	"BenchmarkReadSummary/format=binary": true,
 	"BenchmarkParseLogicalLine":          true,
 	"BenchmarkAppendLogicalLine":         true,
+	// Windowed trace queries: the O(window) indexed paths gate (their
+	// cost must track the window, not the trace); the full-scan
+	// reference rides along informationally.
+	"BenchmarkWindowQueryEvents":  true,
+	"BenchmarkWindowQueryPyramid": true,
 }
 
 // compare checks current against baseline: for hot-path benchmarks a

@@ -38,7 +38,8 @@ var suites = map[string]struct {
 		bench: "^(BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
 			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
 			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
-			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine)$",
+			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine|" +
+			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan)$",
 	},
 	"figures": {
 		pkgs:  []string{"."},
@@ -49,7 +50,8 @@ var suites = map[string]struct {
 		bench: "^(BenchmarkFig.*|BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
 			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
 			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
-			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine)$",
+			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine|" +
+			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan)$",
 	},
 }
 

@@ -244,6 +244,23 @@ func OverallStacked(set trace.Source, relative bool, title string) *viz.StackedB
 	}
 }
 
+// ActivityTimeline folds a windowed query's pyramid buckets into the
+// "time-travel" activity plot: transfer volume over the trace clock at
+// one level of detail. The result must carry buckets, i.e. come from a
+// Window with LOD >= 1.
+func ActivityTimeline(res *trace.WindowResult, title string) (*viz.Timeline, error) {
+	if res.LOD < 1 || len(res.Buckets) == 0 {
+		return nil, fmt.Errorf("core: timeline needs pyramid buckets (query with LOD >= 1 over a non-empty window)")
+	}
+	tl := &viz.Timeline{Title: title, XLabel: res.DomainName}
+	for _, b := range res.Buckets {
+		tl.Buckets = append(tl.Buckets, viz.TimelineBucket{
+			T0: b.T0, T1: b.T1, Count: b.Count, Bytes: b.Bytes,
+		})
+	}
+	return tl, nil
+}
+
 func toFloats(vals []int64) []float64 {
 	out := make([]float64, len(vals))
 	for i, v := range vals {

@@ -29,6 +29,10 @@ type Metrics struct {
 	notModified    atomic.Int64 // conditional requests answered 304
 	gzipResponses  atomic.Int64 // responses served with Content-Encoding: gzip
 
+	windowQueries    atomic.Int64 // /events window queries executed (cache misses)
+	windowBlocksRead atomic.Int64 // data-file blocks decoded by window queries
+	windowFullScans  atomic.Int64 // window queries answered by the full-scan fallback
+
 	mu        sync.Mutex
 	responses map[int]int64 // HTTP status -> count
 }
@@ -74,6 +78,18 @@ func (m *Metrics) Fingerprints() int64 { return m.fingerprints.Load() }
 // NotModified returns how many conditional requests were answered with
 // a body-less 304.
 func (m *Metrics) NotModified() int64 { return m.notModified.Load() }
+
+// WindowQueries returns how many windowed trace queries were executed
+// (cache hits on /events do not re-query).
+func (m *Metrics) WindowQueries() int64 { return m.windowQueries.Load() }
+
+// WindowBlocksRead returns how many trace data blocks windowed queries
+// decoded in total - the observable the O(window) load-shape test pins.
+func (m *Metrics) WindowBlocksRead() int64 { return m.windowBlocksRead.Load() }
+
+// WindowFullScans returns how many windowed queries fell back to the
+// exact full scan because no usable time index was present.
+func (m *Metrics) WindowFullScans() int64 { return m.windowFullScans.Load() }
 
 // HitRatio is the fraction of cache lookups served without rendering
 // (0 when nothing has been looked up yet).
@@ -122,6 +138,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	emit("actorprofd_fingerprints_total", "Trace-directory fingerprints computed from disk.", "counter", m.fingerprints.Load())
 	emit("actorprofd_not_modified_total", "Conditional requests answered 304 Not Modified.", "counter", m.notModified.Load())
 	emit("actorprofd_gzip_responses_total", "Responses served gzip-encoded.", "counter", m.gzipResponses.Load())
+	emit("actorprofd_window_queries_total", "Windowed trace queries executed (cache misses on /events).", "counter", m.windowQueries.Load())
+	emit("actorprofd_window_blocks_read_total", "Trace data blocks decoded by windowed queries.", "counter", m.windowBlocksRead.Load())
+	emit("actorprofd_window_full_scans_total", "Windowed queries answered by the full-scan fallback (no usable time index).", "counter", m.windowFullScans.Load())
 	return cw.n, cw.err
 }
 

@@ -64,6 +64,13 @@ type runEntry struct {
 	skipped int
 	live    bool
 
+	// Time index for windowed queries, loaded lazily and cached per
+	// fingerprint. nil with a matching ixFP means the directory carries
+	// no usable index (CSV-only, live, stale) and queries fall back to
+	// the full-scan reference without re-statting the sidecar.
+	ix   *trace.TimeIndex
+	ixFP string
+
 	// Last fingerprint observed on disk and when; reused within the
 	// snapshot window so hot runs are not re-statted per request.
 	curFP   string
@@ -264,6 +271,16 @@ func (r *registry) loadSet(id string) (*trace.Set, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	set, err := r.setLocked(id, dir, e, fp, live)
+	if err != nil {
+		return nil, "", err
+	}
+	return set, e.fp, nil
+}
+
+// setLocked materializes (or reuses) the run's Set for the given
+// fingerprint. Callers must hold e.mu.
+func (r *registry) setLocked(id, dir string, e *runEntry, fp string, live bool) (*trace.Set, error) {
 	if e.set == nil || e.fp != fp {
 		r.parseSem <- struct{}{}
 		start := time.Now()
@@ -271,12 +288,65 @@ func (r *registry) loadSet(id string) (*trace.Set, string, error) {
 		r.metrics.observeParse(time.Since(start), skipped)
 		<-r.parseSem
 		if err != nil {
-			return nil, "", fmt.Errorf("serve: parsing run %q: %w", id, err)
+			return nil, fmt.Errorf("serve: parsing run %q: %w", id, err)
 		}
 		e.set, e.sum, e.fp, e.skipped, e.live = set, set.Summary(), fp, skipped, live
 		e.src = newShardSource(e.sum)
 	}
-	return e.set, e.fp, nil
+	return e.set, nil
+}
+
+// fingerprintFor returns a run's current fingerprint without parsing
+// anything - the cache-key/ETag component for endpoints that defer the
+// expensive work into the render closure.
+func (r *registry) fingerprintFor(id string) (string, error) {
+	dir, e, err := r.entry(id)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fp, _, err := r.freshFP(dir, e)
+	return fp, err
+}
+
+// queryWindow answers a windowed trace query against one run: through
+// the cached time index when the directory carries a fresh one (reading
+// only the blocks the window intersects), falling back to the exact
+// full-scan reference over the materialized Set otherwise (CSV-only
+// traces, live streaming runs, torn or stale sidecars).
+func (r *registry) queryWindow(id string, q trace.Window) (*trace.WindowResult, error) {
+	dir, e, err := r.entry(id)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fp, live, err := r.freshFP(dir, e)
+	if err != nil {
+		return nil, err
+	}
+	if e.ixFP != fp {
+		// One LoadTimeIndex per fingerprint: a missing or stale sidecar
+		// caches as nil so repeated queries do not re-stat it.
+		e.ix, _ = trace.LoadTimeIndex(dir)
+		e.ixFP = fp
+	}
+	if e.ix != nil {
+		res, err := e.ix.Query(dir, q)
+		if err == nil {
+			return res, nil
+		}
+		e.ix = nil // the data file changed under the index: fall back
+	}
+	set, err := r.setLocked(id, dir, e, fp, live)
+	if err != nil {
+		return nil, err
+	}
+	if !set.Config.Physical {
+		return nil, noData("run has no physical trace; nothing to query")
+	}
+	return trace.QueryWindowSet(set, q), nil
 }
 
 // listPage scans the root and returns the runs in [offset, offset+limit)

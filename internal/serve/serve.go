@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"strconv"
@@ -117,6 +118,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /api/runs", s.handleRuns)
 	mux.HandleFunc("GET /runs/{run}/plots/{plot}", s.handlePlot)
 	mux.HandleFunc("GET /runs/{run}/trace-events.json", s.handleTraceEvents)
+	mux.HandleFunc("GET /runs/{run}/trace.perfetto.json", s.handlePerfetto)
+	mux.HandleFunc("GET /runs/{run}/events", s.handleEvents)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 
 	var h http.Handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
@@ -425,6 +428,131 @@ func (s *Server) handleTraceEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePerfetto serves the full-model Perfetto / chrome://tracing
+// export: duration pairs per handler slot, backlog counters, and
+// process/thread metadata, streamed from the materialized Set.
+func (s *Server) handlePerfetto(w http.ResponseWriter, r *http.Request) {
+	runID := r.PathValue("run")
+	set, fp, err := s.reg.loadSet(runID)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if !set.Config.Physical {
+		s.fail(w, noData("run has no physical trace; nothing to export"))
+		return
+	}
+	key := strings.Join([]string{runID, fp, "perfetto"}, "\x00")
+	s.serveArtifact(w, r, key, etagFor(runID, fp, "perfetto"), func() (renderResult, error) {
+		start := time.Now()
+		defer func() { s.metrics.observeRender(time.Since(start)) }()
+		var buf bytes.Buffer
+		if err := set.ExportPerfetto(&buf); err != nil {
+			return renderResult{}, err
+		}
+		return withGzip(renderResult{data: buf.Bytes(), contentType: "application/json"}, s.cfg.GzipMinBytes), nil
+	})
+}
+
+// serverMaxEvents caps how many raw events one /events response carries
+// regardless of the client's ?max_events=; the Truncated flag reports
+// the cut. Zoomed-out navigation should use ?lod= instead.
+const serverMaxEvents = 50000
+
+// maxLOD bounds the ?lod= parameter for cache keying; the query engine
+// clamps to the pyramid's actual depth (at most 64 levels) anyway.
+const maxLOD = 64
+
+// int64Param parses one optional signed integer query parameter.
+// Anything non-numeric is a 400, never a 500 (FuzzWindowParams pins
+// this).
+func int64Param(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, statusError{code: 400, msg: fmt.Sprintf("%s must be an integer, got %q", name, raw)}
+	}
+	return v, nil
+}
+
+// windowParams parses and normalizes the /events query parameters into
+// a trace.Window. Absent bounds mean the full trace span (the engine
+// clamps the sentinels to the data). Normalization happens here - before
+// cache keying - so equivalent requests ("?lod=02", "?lod=2&junk=")
+// share one cache entry and one ETag.
+func windowParams(r *http.Request) (trace.Window, error) {
+	t0, err := int64Param(r, "t0", math.MinInt64)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	t1, err := int64Param(r, "t1", math.MaxInt64)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	lod, err := pageParam(r, "lod", 0)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	if lod > maxLOD {
+		lod = maxLOD
+	}
+	maxEvents, err := pageParam(r, "max_events", serverMaxEvents)
+	if err != nil {
+		return trace.Window{}, err
+	}
+	if maxEvents == 0 || maxEvents > serverMaxEvents {
+		maxEvents = serverMaxEvents
+	}
+	if lod >= 1 {
+		maxEvents = serverMaxEvents // irrelevant at LOD >= 1: do not mint extra cache keys
+	}
+	return trace.Window{T0: t0, T1: t1, LOD: lod, MaxEvents: maxEvents}, nil
+}
+
+// handleEvents answers windowed trace queries: ?t0= and ?t1= bound the
+// half-open window in the trace's clock domain, ?lod= selects raw
+// events (0) or a pyramid level (>= 1), ?max_events= caps the event
+// payload. With a time index present the query reads only the data
+// blocks the window intersects - O(window), not O(trace) - so panning
+// and zooming over a huge trace stays cheap; the response's blocks_read
+// and total_blocks fields expose exactly how much was touched.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	runID := r.PathValue("run")
+	q, err := windowParams(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	fp, err := s.reg.fingerprintFor(runID)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	norm := fmt.Sprintf("%d\x01%d\x01%d\x01%d", q.T0, q.T1, q.LOD, q.MaxEvents)
+	key := strings.Join([]string{runID, fp, "events", norm}, "\x00")
+	s.serveArtifact(w, r, key, etagFor(runID, fp, "events", norm), func() (renderResult, error) {
+		start := time.Now()
+		defer func() { s.metrics.observeRender(time.Since(start)) }()
+		res, err := s.reg.queryWindow(runID, q)
+		if err != nil {
+			return renderResult{}, err
+		}
+		s.metrics.windowQueries.Add(1)
+		s.metrics.windowBlocksRead.Add(int64(res.BlocksRead))
+		if res.FullScan {
+			s.metrics.windowFullScans.Add(1)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			return renderResult{}, err
+		}
+		return withGzip(renderResult{data: data, contentType: "application/json"}, s.cfg.GzipMinBytes), nil
+	})
+}
+
 // handleIndex renders a minimal HTML directory of runs and plot links.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	infos, total, err := s.reg.listPage(0, indexRunsLimit)
@@ -452,7 +580,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, f := range info.Features {
 			if f == "physical" {
-				fmt.Fprintf(&b, `<li><a href="/runs/%s/trace-events.json">trace-events.json</a> (chrome://tracing)</li>`+"\n", info.ID)
+				fmt.Fprintf(&b, `<li><a href="/runs/%s/trace-events.json">trace-events.json</a> (chrome://tracing, legacy instants)</li>`+"\n", info.ID)
+				fmt.Fprintf(&b, `<li><a href="/runs/%s/trace.perfetto.json">trace.perfetto.json</a> (Perfetto full model)</li>`+"\n", info.ID)
+				fmt.Fprintf(&b, `<li><a href="/runs/%s/events?lod=1">events?t0=&amp;t1=&amp;lod=</a> (windowed query)</li>`+"\n", info.ID)
 			}
 		}
 		b.WriteString("</ul>\n")

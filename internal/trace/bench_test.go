@@ -180,6 +180,86 @@ func BenchmarkAppendLogicalLine(b *testing.B) {
 	}
 }
 
+// benchIndexedDir writes an ordered-cycle binary trace and its time
+// index, the windowed-query benchmarks' shared fixture.
+func benchIndexedDir(b *testing.B, npes, recsPerPE int) string {
+	b.Helper()
+	dir := b.TempDir()
+	if err := orderedCycleSet(b, npes, recsPerPE).WriteFiles(dir); err != nil {
+		b.Fatal(err)
+	}
+	if built, err := BuildTimeIndex(dir); err != nil || !built {
+		b.Fatalf("BuildTimeIndex: built=%v err=%v", built, err)
+	}
+	return dir
+}
+
+// BenchmarkWindowQueryEvents answers a narrow raw-event window through
+// the time index: cost must track the window (a few blocks), not the
+// 256-block trace.
+func BenchmarkWindowQueryEvents(b *testing.B) {
+	const npes, recsPerPE = 64, 4096
+	dir := benchIndexedDir(b, npes, recsPerPE)
+	ix, err := LoadTimeIndex(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := ix.TMax - ix.TMin + 1
+	q := Window{T0: ix.TMin + span/2, T1: ix.TMin + span/2 + span/64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ix.Query(dir, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Events) == 0 || res.BlocksRead >= res.TotalBlocks {
+			b.Fatalf("window read %d/%d blocks with %d events", res.BlocksRead, res.TotalBlocks, len(res.Events))
+		}
+	}
+}
+
+// BenchmarkWindowQueryPyramid answers a zoomed-out query from the
+// index's pyramid alone - no data blocks at all.
+func BenchmarkWindowQueryPyramid(b *testing.B) {
+	const npes, recsPerPE = 64, 4096
+	dir := benchIndexedDir(b, npes, recsPerPE)
+	ix, err := LoadTimeIndex(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Window{T0: ix.TMin, T1: ix.TMax + 1, LOD: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ix.Query(dir, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Buckets) == 0 || res.BlocksRead != 0 {
+			b.Fatalf("pyramid query returned %d buckets reading %d blocks", len(res.Buckets), res.BlocksRead)
+		}
+	}
+}
+
+// BenchmarkWindowQueryFullScan is the reference path the indexed
+// queries are measured against: the same narrow window answered by
+// walking the whole materialized Set.
+func BenchmarkWindowQueryFullScan(b *testing.B) {
+	const npes, recsPerPE = 64, 4096
+	set := orderedCycleSet(b, npes, recsPerPE)
+	span := int64(npes * recsPerPE)
+	q := Window{T0: 1 + span/2, T1: 1 + span/2 + span/64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := QueryWindowSet(set, q)
+		if len(res.Events) == 0 || !res.FullScan {
+			b.Fatalf("full scan returned %d events (full_scan=%v)", len(res.Events), res.FullScan)
+		}
+	}
+}
+
 func init() {
 	// Catch accidental drift between the bench fixture and the format
 	// constants at test-build time rather than mid-benchmark.

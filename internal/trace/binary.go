@@ -51,6 +51,13 @@ const (
 	maxBinRows = 1 << 20
 	maxBinCols = 1 << 10
 	maxBinStr  = 1 << 16
+
+	// Physical column counts: the base format carried 4 columns
+	// (kind, buf_bytes, src, dst); the current writer appends the
+	// per-PE virtual-clock cycles as column 4. Readers accept either,
+	// so pre-cycles traces keep loading.
+	binPhysicalMinCols = 4
+	binPhysicalCols    = 5
 )
 
 // Binary sibling names of the CSV trace files.
@@ -363,7 +370,7 @@ func scanPAPIBin(br *bufio.Reader, path string, npes int, tolerant bool, yield f
 }
 
 func scanPhysicalBin(br *bufio.Reader, path string, npes int, tolerant bool, yield func(PhysicalRecord)) (int, error) {
-	d, err := newBinReader(br, path, binKindPhysical, 4)
+	d, err := newBinReader(br, path, binKindPhysical, binPhysicalMinCols)
 	if err != nil {
 		return binHeaderErr(err, tolerant)
 	}
@@ -376,9 +383,16 @@ func scanPhysicalBin(br *bufio.Reader, path string, npes int, tolerant bool, yie
 		if err := checkPERange("physical", src, dst, npes); err != nil {
 			return err
 		}
-		yield(PhysicalRecord{
+		rec := PhysicalRecord{
 			Kind: conveyor.SendKind(kind), BufBytes: int(d.cols[1][i]), SrcPE: src, DstPE: dst,
-		})
+		}
+		// Column 4 (virtual-clock cycles) was added after the base
+		// format shipped; files written before it simply lack the
+		// column and load with Cycles == 0, exactly as CSV does.
+		if d.ncols >= binPhysicalCols {
+			rec.Cycles = d.cols[4][i]
+		}
+		yield(rec)
 		return nil
 	})
 }

@@ -355,10 +355,10 @@ func (s *Set) writePhysical(dir string) error {
 }
 
 func (s *Set) writePhysicalBin(dir string) error {
-	return writeBinFile(filepath.Join(dir, physicalBinFile), binKindPhysical, 4, func(b *binWriter) {
+	return writeBinFile(filepath.Join(dir, physicalBinFile), binKindPhysical, binPhysicalCols, func(b *binWriter) {
 		for pe := 0; pe < s.NumPEs; pe++ {
 			for _, r := range s.Physical[pe] {
-				b.push(int64(r.Kind), int64(r.BufBytes), int64(r.SrcPE), int64(r.DstPE))
+				b.push(int64(r.Kind), int64(r.BufBytes), int64(r.SrcPE), int64(r.DstPE), r.Cycles)
 			}
 		}
 	})

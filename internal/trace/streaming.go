@@ -155,7 +155,7 @@ func (c *Collector) openStreams(pe int) (*peStream, error) {
 			}
 		}
 		if format.binary() {
-			if s.physBF, s.physBW, s.physBin, err = openBin(physicalPartBin(pe), binKindPhysical, 4); err != nil {
+			if s.physBF, s.physBW, s.physBin, err = openBin(physicalPartBin(pe), binKindPhysical, binPhysicalCols); err != nil {
 				return nil, err
 			}
 		}
@@ -233,6 +233,13 @@ func (c *Collector) Finalize() error {
 	if c.cfg.Physical {
 		if err := c.assemblePhysical(); err != nil {
 			return err
+		}
+		// The time index rides on the assembled binary file; CSV-only
+		// runs are served by the query engine's full-scan fallback.
+		if c.cfg.Format.binary() {
+			if _, err := BuildTimeIndex(c.streamDir); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -321,7 +328,7 @@ func (c *Collector) assemblePhysicalBin() (err error) {
 		}
 	}()
 	w := bufio.NewWriterSize(out, 1<<16)
-	hdr := newBinWriter(w, binKindPhysical, 4)
+	hdr := newBinWriter(w, binKindPhysical, binPhysicalCols)
 	if err := hdr.finish(); err != nil {
 		return err
 	}
@@ -335,15 +342,15 @@ func (c *Collector) assemblePhysicalBin() (err error) {
 			return openErr
 		}
 		br := bufio.NewReaderSize(in, 1<<16)
-		d, hdrErr := newBinReader(br, part, binKindPhysical, 4)
+		d, hdrErr := newBinReader(br, part, binKindPhysical, binPhysicalMinCols)
 		if hdrErr != nil {
 			in.Close()
 			return hdrErr
 		}
 		if d != nil { // nil means an empty part: nothing to copy
-			if d.ncols != 4 {
+			if d.ncols != binPhysicalCols {
 				in.Close()
-				return fmt.Errorf("trace: %s: physical part has %d columns, want 4", part, d.ncols)
+				return fmt.Errorf("trace: %s: physical part has %d columns, want %d", part, d.ncols, binPhysicalCols)
 			}
 			if _, copyErr := io.Copy(w, br); copyErr != nil {
 				in.Close()
@@ -411,6 +418,6 @@ func (p *PECollector) streamPhysical(r PhysicalRecord) {
 		s.phys.Write(s.buf)
 	}
 	if s.physBin != nil {
-		s.physBin.push(int64(r.Kind), int64(r.BufBytes), int64(r.SrcPE), int64(r.DstPE))
+		s.physBin.push(int64(r.Kind), int64(r.BufBytes), int64(r.SrcPE), int64(r.DstPE), r.Cycles)
 	}
 }

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzTimeIndexBlock throws arbitrary bytes at the time-index decoder:
+// decoding must never panic, and any index that passes validation must
+// answer pyramid queries without panicking. The seed corpus is a real
+// sidecar plus the classic corruptions (truncations, magic-only,
+// zero-length).
+func FuzzTimeIndexBlock(f *testing.F) {
+	dir, err := os.MkdirTemp("", "aptx-fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+	s := NewSet(Config{Physical: true, Format: FormatBinary}, 4, 2)
+	for pe := 0; pe < 4; pe++ {
+		for i := 0; i < 300; i++ {
+			s.Physical[pe] = append(s.Physical[pe], PhysicalRecord{
+				Kind: 1, BufBytes: 64, SrcPE: pe, DstPE: (pe + 1) % 4,
+				Cycles: int64(pe*300+i) + 1,
+			})
+		}
+	}
+	if err := s.WriteFiles(dir); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := BuildTimeIndex(dir); err != nil {
+		f.Fatal(err)
+	}
+	clean, err := os.ReadFile(filepath.Join(dir, timeIndexFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)/2])
+	f.Add(clean[:9])
+	f.Add([]byte("APTX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ix, err := decodeTimeIndex(raw, "fuzz")
+		if err != nil {
+			return // rejected: the full-scan fallback takes over
+		}
+		// A decodable index must hold its invariants well enough that
+		// pyramid queries cannot go out of bounds or panic.
+		for _, q := range []Window{
+			{T0: ix.TMin, T1: ix.TMax + 1, LOD: 1},
+			{T0: ix.TMin - 100, T1: ix.TMax + 100, LOD: 99},
+			{T0: 0, T1: 1, LOD: 3},
+			{T0: 5, T1: 5, LOD: 1},
+		} {
+			res := ix.newResult(q)
+			if res.LOD >= 1 {
+				ix.queryPyramid(clampWindow(q, ix.TMin, ix.TMax), res)
+			}
+			for _, b := range res.Buckets {
+				if b.Count < 0 || b.Bytes < 0 {
+					t.Fatalf("decoded index yielded negative bucket %+v", b)
+				}
+			}
+		}
+	})
+}

@@ -164,11 +164,12 @@ type PhysicalRecord struct {
 	BufBytes int
 	SrcPE    int
 	DstPE    int
-	// Cycles is the initiating PE's clock at the event. It is kept
-	// in memory for the Google Trace Event export (a paper future-work
-	// feature) but deliberately NOT serialized into physical.txt, whose
-	// four-field format matches the paper - and whose timestamps the
-	// paper argues are unreliable under Conveyors' lazy-send policy.
+	// Cycles is the initiating PE's clock at the event. It is NOT
+	// serialized into physical.txt, whose four-field format matches the
+	// paper - and whose timestamps the paper argues are unreliable
+	// under Conveyors' lazy-send policy - but the binary physical.bin
+	// carries it as a fifth column, so the Trace Event export and the
+	// windowed time-index queries survive a round trip through disk.
 	Cycles int64
 }
 

@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func timelineFixture() *Timeline {
+	tl := &Timeline{Title: "Physical transfers over time", XLabel: "cycles"}
+	for i := 0; i < 48; i++ {
+		tl.Buckets = append(tl.Buckets, TimelineBucket{
+			T0:    int64(i) * 100,
+			T1:    int64(i+1) * 100,
+			Count: int64((i*7)%13) * 3,
+			Bytes: int64((i*31)%211) * 64,
+		})
+	}
+	return tl
+}
+
+func TestTimelineValidates(t *testing.T) {
+	if err := (&Timeline{Title: "x"}).RenderText(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty timeline rendered without error")
+	}
+	bad := &Timeline{Buckets: []TimelineBucket{{T0: 5, T1: 5}}}
+	if _, err := bad.RenderSVG(); err == nil {
+		t.Fatal("inverted bucket rendered without error")
+	}
+}
+
+func TestTimelineFolds(t *testing.T) {
+	tl := timelineFixture()
+	folded := tl.foldTo(10)
+	if len(folded) > 10 {
+		t.Fatalf("foldTo(10) kept %d buckets", len(folded))
+	}
+	var want, got int64
+	for _, b := range tl.Buckets {
+		want += b.Count
+	}
+	for _, b := range folded {
+		got += b.Count
+	}
+	if got != want {
+		t.Fatalf("folding lost events: %d vs %d", got, want)
+	}
+	if folded[0].T0 != tl.Buckets[0].T0 || folded[len(folded)-1].T1 != tl.Buckets[len(tl.Buckets)-1].T1 {
+		t.Fatal("folding changed the covered span")
+	}
+}
+
+func TestGoldenTimeline(t *testing.T) {
+	tl := timelineFixture()
+	var txt bytes.Buffer
+	if err := tl.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeline_text", txt.String())
+	svg, err := tl.RenderSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("not an SVG document: %.40q", svg)
+	}
+	checkGolden(t, "timeline_svg", svg)
+}
