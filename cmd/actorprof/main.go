@@ -154,6 +154,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "export" {
 		return runExport(args[1:])
 	}
+	if len(args) > 0 && args[0] == "whatif" {
+		return runWhatIf(args[1:])
+	}
 	fs := flag.NewFlagSet("actorprof", flag.ContinueOnError)
 	var (
 		logical     = fs.Bool("l", false, "render the logical-trace heatmap")

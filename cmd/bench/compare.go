@@ -30,6 +30,11 @@ var hotPath = map[string]bool{
 	// reference rides along informationally.
 	"BenchmarkWindowQueryEvents":  true,
 	"BenchmarkWindowQueryPyramid": true,
+	// What-if engines: the analytic projection (critical path +
+	// bottleneck ranking) and the deterministic replay, both sized by
+	// the recorded schedule, both allocation-stable per query.
+	"BenchmarkCriticalPath": true,
+	"BenchmarkWhatIfReplay": true,
 }
 
 // compare checks current against baseline: for hot-path benchmarks a

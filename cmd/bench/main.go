@@ -34,24 +34,26 @@ var suites = map[string]struct {
 	bench string
 }{
 	"hot": {
-		pkgs: []string{"./internal/conveyor", "./internal/actor", "./internal/trace"},
+		pkgs: []string{"./internal/conveyor", "./internal/actor", "./internal/trace", "./internal/whatif"},
 		bench: "^(BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
 			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
 			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
 			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine|" +
-			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan)$",
+			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan|" +
+			"BenchmarkCriticalPath|BenchmarkWhatIfReplay)$",
 	},
 	"figures": {
 		pkgs:  []string{"."},
 		bench: "^BenchmarkFig",
 	},
 	"all": {
-		pkgs: []string{".", "./internal/conveyor", "./internal/actor", "./internal/trace"},
+		pkgs: []string{".", "./internal/conveyor", "./internal/actor", "./internal/trace", "./internal/whatif"},
 		bench: "^(BenchmarkFig.*|BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
 			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
 			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
 			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine|" +
-			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan)$",
+			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan|" +
+			"BenchmarkCriticalPath|BenchmarkWhatIfReplay)$",
 	},
 }
 

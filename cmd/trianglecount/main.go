@@ -29,6 +29,7 @@ import (
 	"actorprof/internal/core"
 	"actorprof/internal/papi"
 	"actorprof/internal/trace"
+	"actorprof/internal/whatif"
 )
 
 func main() {
@@ -113,6 +114,10 @@ func run(args []string) error {
 	if err := set.WriteFiles(*out); err != nil {
 		return err
 	}
-	fmt.Printf("\ntrace files written to %s (render with: actorprof %s)\n", *out, *out)
+	if err := whatif.WriteScheduleFile(*out, rep.Schedule); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace files written to %s (render with: actorprof %s; project with: actorprof whatif %s)\n",
+		*out, *out, *out)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"actorprof/internal/hclib"
 	"actorprof/internal/papi"
 	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
 	"actorprof/internal/trace"
 )
 
@@ -57,6 +58,13 @@ type Runtime struct {
 	// zeroDepth tracks nested runtime sections so pauseMain/resumeMain
 	// can nest safely.
 	runtimeDepth int
+
+	// selectorSeq numbers this PE's selectors in creation order. The
+	// creation sequence is collective (every PE creates the same
+	// selectors in the same order), so the ordinal identifies the same
+	// logical actor on every PE; handler schedule markers carry
+	// sim.ActorID(ordinal, mailbox).
+	selectorSeq int
 }
 
 // NewRuntime creates the actor runtime for one PE. It is a collective
@@ -129,7 +137,7 @@ func (rt *Runtime) Segment(name string, fn func()) {
 // execute and be counted by the PMU.
 func (rt *Runtime) Work(w papi.Work) {
 	rt.engine.Tally(w)
-	rt.pe.Charge(rt.pe.World().Cost().InstructionCost(w.Ins))
+	rt.pe.ChargeInstr(rt.pe.World().Cost().InstructionCost(w.Ins), w.Ins)
 }
 
 // Finish opens an hclib finish scope, runs body, and waits until every
@@ -139,9 +147,13 @@ func (rt *Runtime) Work(w papi.Work) {
 // trailing clock-synchronizing barrier, which models the BSP superstep
 // boundary where every PE waits for the stragglers) is T_TOTAL.
 func (rt *Runtime) Finish(body func()) {
-	measured := rt.pc != nil && !rt.paused && !rt.profiling
+	// A schedule recording measures the scope even without a trace
+	// collector: the markers are what let the what-if engine reconstruct
+	// the breakdown offline.
+	measured := (rt.pc != nil || rt.pe.Recording()) && !rt.paused && !rt.profiling
 	if measured {
 		rt.profiling = true
+		rt.pe.RecordEvent(sim.EvFinishStart, 0)
 		rt.finishStart = rt.pe.Clock().Now()
 		rt.mainStart = rt.finishStart
 	}
@@ -153,6 +165,7 @@ func (rt *Runtime) Finish(body func()) {
 		rt.pe.Barrier()
 		now := rt.pe.Clock().Now()
 		rt.tTotal += now - rt.finishStart
+		rt.pe.RecordEvent(sim.EvFinishEnd, 0)
 		rt.profiling = false
 	}
 	// A nested Finish inside an instrumented one needs no handling: the
@@ -176,6 +189,7 @@ func (rt *Runtime) pauseMainTimer() {
 	}
 	rt.tMain += rt.pe.Clock().Now() - rt.mainStart
 	rt.mainStart = -1
+	rt.pe.RecordEvent(sim.EvMainPause, 0)
 }
 
 // resumeMainTimer resumes MAIN attribution (returning to user code).
@@ -183,6 +197,7 @@ func (rt *Runtime) resumeMainTimer() {
 	if !rt.profiling || rt.mainStart >= 0 {
 		return
 	}
+	rt.pe.RecordEvent(sim.EvMainResume, 0)
 	rt.mainStart = rt.pe.Clock().Now()
 }
 
@@ -208,15 +223,16 @@ func (rt *Runtime) exitRuntime() {
 // of MAIN. Nested handlers (a handler whose Send makes progress and
 // dispatches further handlers) are covered by the outermost interval;
 // handlerEnter returns -1 for them so the time is not double counted.
-func (rt *Runtime) handlerEnter() int64 {
+func (rt *Runtime) handlerEnter(actor int64) int64 {
 	if rt.inHandler {
 		return -1
 	}
 	rt.inHandler = true
+	rt.pe.RecordEvent(sim.EvHandlerStart, actor)
 	return rt.pe.Clock().Now()
 }
 
-func (rt *Runtime) handlerExit(start int64) {
+func (rt *Runtime) handlerExit(actor, start int64) {
 	if start < 0 {
 		return
 	}
@@ -224,6 +240,15 @@ func (rt *Runtime) handlerExit(start int64) {
 	if rt.profiling {
 		rt.tProc += rt.pe.Clock().Now() - start
 	}
+	rt.pe.RecordEvent(sim.EvHandlerEnd, actor)
+}
+
+// nextSelectorOrdinal hands out this PE's next selector creation
+// ordinal (see selectorSeq).
+func (rt *Runtime) nextSelectorOrdinal() int {
+	ord := rt.selectorSeq
+	rt.selectorSeq++
+	return ord
 }
 
 // collecting reports whether per-event trace hooks should fire.

@@ -5,6 +5,7 @@ import (
 
 	"actorprof/internal/conveyor"
 	"actorprof/internal/fault"
+	"actorprof/internal/sim"
 )
 
 // Selector is an actor with multiple guarded mailboxes (Imam & Sarkar's
@@ -29,6 +30,10 @@ import (
 type Selector[T any] struct {
 	rt    *Runtime
 	codec Codec[T]
+	// ord is the selector's creation ordinal on this PE; identical on
+	// every PE because selector creation is collective. It keys the
+	// actor IDs (sim.ActorID) carried by handler schedule markers.
+	ord int
 
 	mailboxes []mailbox[T]
 	convs     []*conveyor.Conveyor
@@ -60,6 +65,7 @@ func NewSelector[T any](rt *Runtime, n int, codec Codec[T]) (*Selector[T], error
 	}
 	s := &Selector[T]{
 		rt:        rt,
+		ord:       rt.nextSelectorOrdinal(),
 		codec:     codec,
 		mailboxes: make([]mailbox[T], n),
 		convs:     make([]*conveyor.Conveyor, n),
@@ -165,7 +171,7 @@ func (s *Selector[T]) Send(mb int, msg T, dst int) {
 	s.sendCount[mb]++
 	w := rt.costs.SendWork(s.codec.Size)
 	rt.engine.Tally(w)
-	rt.pe.Charge(rt.pe.World().Cost().InstructionCost(w.Ins))
+	rt.pe.ChargeInstr(rt.pe.World().Cost().InstructionCost(w.Ins), w.Ins)
 	if rt.collecting() {
 		rt.pc.LogicalSend(mb, dst, s.codec.Size)
 	}
@@ -278,6 +284,7 @@ func (s *Selector[T]) drain(mb int) {
 	// keeping the MAIN/PROC/COMM attribution identical.
 	w := rt.costs.HandlerWork(s.codec.Size)
 	instr := rt.pe.World().Cost().InstructionCost(w.Ins)
+	actor := sim.ActorID(s.ord, mb)
 	for {
 		item, src, ok := c.Pull()
 		if !ok {
@@ -285,7 +292,7 @@ func (s *Selector[T]) drain(mb int) {
 		}
 		s.recvCount[mb]++
 		rt.engine.Tally(w)
-		rt.pe.Charge(instr)
+		rt.pe.ChargeInstr(instr, w.Ins)
 		msg := s.codec.Decode(item)
 		// Injection point (schedule-only): extra yields before dispatch
 		// let peers race ahead, perturbing the order handler effects
@@ -293,9 +300,9 @@ func (s *Selector[T]) drain(mb int) {
 		if rt.pe.HasFault() {
 			rt.pe.FaultSched(fault.SiteHandler)
 		}
-		start := rt.handlerEnter()
+		start := rt.handlerEnter(actor)
 		m.process(msg, src)
-		rt.handlerExit(start)
+		rt.handlerExit(actor, start)
 	}
 }
 

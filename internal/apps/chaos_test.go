@@ -43,6 +43,31 @@ func TestChaosDifferentialMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosWhatIfMatrix is the causal-profiler soak cell of the chaos
+// matrix: every app runs once per machine shape under a randomized
+// fault plan with schedule capture on, and the what-if engine is
+// differentially validated on the recorded schedule - the analytic
+// projection must match a deterministic replay bit-for-bit, both
+// unperturbed and under a seed-derived random cost perturbation.
+func TestChaosWhatIfMatrix(t *testing.T) {
+	if *chaosReplay != "" {
+		t.Skip("replaying a single cell via -chaos.replay")
+	}
+	for _, app := range ChaosApps() {
+		for _, m := range harness.DefaultMachines() {
+			app, m := app, m
+			seed := harness.DeriveSeed(*chaosSeed, app.Name, "whatif", m)
+			cell := harness.Cell{App: app, Machine: m, Plan: fault.PlanFromSeed(seed)}
+			t.Run(cell.Spec().String(), func(t *testing.T) {
+				t.Parallel()
+				if err := harness.WhatIfCell(cell, seed); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 // TestChaosReplayCell re-runs one reported cell:
 //
 //	go test ./internal/apps -run TestChaosReplayCell -chaos.replay 'bfs/tiny-buffers/8x4/0x1234'

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"actorprof/internal/fault"
+	"actorprof/internal/sim"
 )
 
 // board is the shared termination-detection state of one conveyor
@@ -329,7 +330,7 @@ func (c *Conveyor) receive() {
 // ingest delivers or re-routes the items of one received buffer.
 func (c *Conveyor) ingest(buf []byte, n int) {
 	me := c.pe.Rank()
-	c.pe.Charge(int64(n) * c.pe.World().Cost().ItemIngestCycles)
+	c.pe.ChargeEvent(sim.EvIngest, int64(n))
 	for i := 0; i < n; i++ {
 		rec := buf[i*c.wireBytes : (i+1)*c.wireBytes]
 		orig := int(binary.LittleEndian.Uint32(rec[hdrOrig:]))

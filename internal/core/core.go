@@ -17,6 +17,7 @@ import (
 	"actorprof/internal/sim"
 	"actorprof/internal/trace"
 	"actorprof/internal/viz"
+	"actorprof/internal/whatif"
 )
 
 // Options configures a profiled run.
@@ -59,8 +60,33 @@ type App func(rt *actor.Runtime) error
 // Run executes app on every PE under ActorProf instrumentation and
 // returns the assembled trace set.
 func Run(opts Options, app App) (*trace.Set, error) {
+	set, _, err := run(opts, app, false)
+	return set, err
+}
+
+// RunCaptured is Run plus what-if schedule capture: every clock charge
+// and profiling region transition is recorded per PE, and the resulting
+// schedule feeds internal/whatif (critical paths, bottleneck ranking,
+// causal projections). When opts.StreamDir is set, the schedule is also
+// written there as schedule.json so actorprofd and `actorprof whatif`
+// find it next to the trace.
+func RunCaptured(opts Options, app App) (*trace.Set, *sim.Schedule, error) {
+	return run(opts, app, true)
+}
+
+func run(opts Options, app App, capture bool) (*trace.Set, *sim.Schedule, error) {
 	if err := opts.Machine.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	// Default the cost model explicitly and reject degenerate ones
+	// (zero-value or free-network models silently produce all-zero
+	// profiles and poison what-if projections).
+	cost := opts.Cost
+	if cost == (sim.CostModel{}) {
+		cost = sim.DefaultCostModel()
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, nil, err
 	}
 	var coll *trace.Collector
 	var err error
@@ -70,13 +96,18 @@ func Run(opts Options, app App) (*trace.Set, error) {
 		coll, err = trace.NewCollector(opts.Trace, opts.Machine)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var rec *sim.ScheduleRecorder
+	if capture {
+		rec = sim.NewScheduleRecorder(opts.Machine, opts.Timing, cost)
 	}
 	runErr := shmem.Run(shmem.Config{
-		Machine: opts.Machine,
-		Cost:    opts.Cost,
-		Timing:  opts.Timing,
-		Profile: opts.APIProfile,
+		Machine:  opts.Machine,
+		Cost:     cost,
+		Timing:   opts.Timing,
+		Profile:  opts.APIProfile,
+		Schedule: rec,
 	}, func(pe *shmem.PE) {
 		rt := actor.NewRuntime(pe, actor.RuntimeOptions{
 			Collector:   coll,
@@ -91,15 +122,68 @@ func Run(opts Options, app App) (*trace.Set, error) {
 		pe.Barrier()
 	})
 	if runErr != nil {
-		return nil, runErr
+		return nil, nil, runErr
 	}
 	if coll.Streaming() {
 		if err := coll.Finalize(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return coll.Set(), nil
+	var sched *sim.Schedule
+	if rec != nil {
+		sched = rec.Schedule()
+		if opts.StreamDir != "" {
+			if err := whatif.WriteScheduleFile(opts.StreamDir, sched); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return coll.Set(), sched, nil
 }
+
+// WhatIf projects a perturbation over a captured schedule and returns
+// the differentially validated report (see whatif.Compare).
+func WhatIf(sched *sim.Schedule, p whatif.Perturbation) (*whatif.Report, error) {
+	return whatif.Compare(sched, p)
+}
+
+// WhatIfPlot builds the what-if comparison plot: baseline vs projected
+// aggregate regimes plus the makespan, with deltas.
+func WhatIfPlot(rep *whatif.Report, title string) *viz.WhatIf {
+	bs, ps := rep.Baseline.Totals.Sum(), rep.Projected.Totals.Sum()
+	return &viz.WhatIf{
+		Title:    title,
+		Subtitle: fmt.Sprintf("projected makespan delta %+d cycles (%+.1f%%)", rep.Delta.Makespan, rep.Delta.MakespanPct),
+		Rows: []viz.WhatIfRow{
+			{Label: "T_MAIN", Baseline: bs.TMain, Projected: ps.TMain},
+			{Label: "T_COMM", Baseline: bs.TComm, Projected: ps.TComm},
+			{Label: "T_PROC", Baseline: bs.TProc, Projected: ps.TProc},
+			{Label: "T_TOTAL", Baseline: bs.TTotal, Projected: ps.TTotal},
+			{Label: "makespan", Baseline: rep.Baseline.Totals.Makespan, Projected: rep.Projected.Totals.Makespan},
+		},
+	}
+}
+
+// BottleneckPlot builds the ranked per-actor bottleneck plot from an
+// analysis, keeping the top entries.
+func BottleneckPlot(an *whatif.Analysis, top int, title string) *viz.Ranked {
+	rows := an.Bottlenecks
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	out := &viz.Ranked{Title: title, XLabel: "avg handler cycles / avg activation interval"}
+	for _, b := range rows {
+		out.Rows = append(out.Rows, viz.RankedRow{
+			Label: b.Label,
+			Score: b.Score,
+			Detail: fmt.Sprintf("%s activations, avg %s cyc",
+				formatInt(b.Activations), formatInt(int64(b.AvgCycles))),
+		})
+	}
+	return out
+}
+
+func formatInt(v int64) string { return fmt.Sprintf("%d", v) }
 
 // The plot constructors below accept any trace.Source - a fully
 // materialized *trace.Set or the O(PEs^2) *trace.Summary produced by

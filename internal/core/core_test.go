@@ -11,6 +11,7 @@ import (
 	"actorprof/internal/shmem"
 	"actorprof/internal/sim"
 	"actorprof/internal/trace"
+	"actorprof/internal/whatif"
 )
 
 func TestRunValidatesMachine(t *testing.T) {
@@ -519,5 +520,48 @@ func TestRunStreamDirWritesAndFinalizesTrace(t *testing.T) {
 	}
 	if !got.Config.Physical || !got.Config.Overall {
 		t.Error("finalized stream dir missing physical/overall features")
+	}
+}
+
+func TestRunValidatesCostModel(t *testing.T) {
+	bad := sim.DefaultCostModel()
+	bad.NetworkLatency, bad.NetworkPerByte = 0, 0 // free network
+	_, err := Run(Options{Machine: sim.Machine{NumPEs: 2, PEsPerNode: 2}, Cost: bad},
+		func(rt *actor.Runtime) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "free network") {
+		t.Fatalf("expected free-network cost error, got %v", err)
+	}
+	neg := sim.DefaultCostModel()
+	neg.QuietLatency = -1
+	if _, _, err := RunCaptured(Options{Machine: sim.Machine{NumPEs: 2, PEsPerNode: 2}, Cost: neg},
+		func(rt *actor.Runtime) error { return nil }); err == nil {
+		t.Fatal("expected negative-cost error from RunCaptured")
+	}
+}
+
+// TestRunCapturedWritesSchedule: with StreamDir set, the schedule lands
+// next to the streamed trace and round-trips through the whatif loader.
+func TestRunCapturedWritesSchedule(t *testing.T) {
+	dir := t.TempDir()
+	_, sched, err := RunCaptured(Options{
+		Machine:   sim.Machine{NumPEs: 2, PEsPerNode: 2},
+		Trace:     trace.Config{Overall: true},
+		StreamDir: dir,
+	}, func(rt *actor.Runtime) error {
+		_, err := apps.Histogram(rt, apps.HistogramConfig{UpdatesPerPE: 50, TableSizePerPE: 16, Seed: 3})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !whatif.HasSchedule(dir) {
+		t.Fatal("StreamDir has no schedule.json")
+	}
+	got, err := whatif.ReadScheduleFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events() != sched.Events() {
+		t.Fatalf("on-disk schedule has %d events, in-memory %d", got.Events(), sched.Events())
 	}
 }

@@ -113,6 +113,8 @@ func FullTrace() trace.Config {
 type TriangleReport struct {
 	// Set is the collected ActorProf trace.
 	Set *trace.Set
+	// Schedule is the recorded what-if schedule (see internal/whatif).
+	Schedule *sim.Schedule
 	// Triangles is the distributed count; Expected the serial reference.
 	Triangles, Expected int64
 	// Graph echoes the input (for sweeps that reuse it).
@@ -162,7 +164,7 @@ func RunTriangle(exp TriangleExperiment) (*TriangleReport, error) {
 	}
 
 	counts := make([]int64, exp.NumPEs)
-	set, err := Run(Options{
+	set, sched, err := RunCaptured(Options{
 		Machine:     sim.Machine{NumPEs: exp.NumPEs, PEsPerNode: exp.PEsPerNode},
 		Trace:       exp.Trace,
 		BufferItems: exp.BufferItems,
@@ -181,6 +183,7 @@ func RunTriangle(exp TriangleExperiment) (*TriangleReport, error) {
 	}
 	report := &TriangleReport{
 		Set:       set,
+		Schedule:  sched,
 		Triangles: counts[0],
 		Expected:  g.CountTrianglesSerial(),
 		Graph:     g,

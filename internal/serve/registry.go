@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"actorprof/internal/papi"
+	"actorprof/internal/sim"
 	"actorprof/internal/trace"
 )
 
@@ -70,6 +71,13 @@ type runEntry struct {
 	// the full-scan reference without re-statting the sidecar.
 	ix   *trace.TimeIndex
 	ixFP string
+
+	// Recorded what-if schedule, loaded lazily and cached per
+	// fingerprint. nil with a matching schedFP means the directory
+	// carries no schedule.json (the run predates capture) and whatif
+	// requests 404 without re-statting it.
+	sched   *sim.Schedule
+	schedFP string
 
 	// Last fingerprint observed on disk and when; reused within the
 	// snapshot window so hot runs are not re-statted per request.

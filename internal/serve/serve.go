@@ -32,6 +32,7 @@ import (
 
 	"actorprof/internal/trace"
 	"actorprof/internal/viz"
+	"actorprof/internal/whatif"
 )
 
 // Config configures a Server.
@@ -120,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /runs/{run}/trace-events.json", s.handleTraceEvents)
 	mux.HandleFunc("GET /runs/{run}/trace.perfetto.json", s.handlePerfetto)
 	mux.HandleFunc("GET /runs/{run}/events", s.handleEvents)
+	mux.HandleFunc("GET /runs/{run}/whatif", s.handleWhatIf)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 
 	var h http.Handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
@@ -584,6 +586,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(&b, `<li><a href="/runs/%s/trace.perfetto.json">trace.perfetto.json</a> (Perfetto full model)</li>`+"\n", info.ID)
 				fmt.Fprintf(&b, `<li><a href="/runs/%s/events?lod=1">events?t0=&amp;t1=&amp;lod=</a> (windowed query)</li>`+"\n", info.ID)
 			}
+		}
+		if whatif.HasSchedule(info.Dir) {
+			fmt.Fprintf(&b, `<li><a href="/runs/%s/whatif">whatif</a> (causal projection; ?scale_network=&amp;plot=compare|bottleneck&amp;format=svg)</li>`+"\n", info.ID)
 		}
 		b.WriteString("</ul>\n")
 	}

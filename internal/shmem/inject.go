@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"actorprof/internal/fault"
+	"actorprof/internal/sim"
 )
 
 // This file is the fault-injection seam of the OpenSHMEM layer: every
@@ -22,6 +23,9 @@ func (p *PE) fireFault(site fault.Site, index, arg, arg2 int64) fault.Decision {
 	d := p.inj.Decide(fault.Point{PE: p.rank, Site: site, Index: index, Arg: arg, Arg2: arg2})
 	if d.DelayCycles > 0 {
 		p.clock.Charge(d.DelayCycles)
+		if p.sched != nil {
+			p.sched.Append(sim.EvDelay, d.DelayCycles)
+		}
 	}
 	for i := 0; i < d.Yields; i++ {
 		runtime.Gosched()

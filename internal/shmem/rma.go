@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"actorprof/internal/fault"
+	"actorprof/internal/sim"
 )
 
 // Put is a blocking one-sided put (shmem_putmem): data is visible at the
@@ -78,7 +79,7 @@ func (p *PE) quiet() {
 			// program-determined.
 			p.fireFaultCounted(fault.SiteQuiet, int64(len(p.pendingNBI)), int64(p.nbiBytes))
 		}
-		p.Charge(p.world.cfg.Cost.QuietLatency)
+		p.ChargeEvent(sim.EvQuiet, int64(len(p.pendingNBI)))
 		for i, w := range p.pendingNBI {
 			p.rawWrite(w.target, w.offset, w.data)
 			// rawWrite copied the staging buffer into the target heap,
@@ -138,7 +139,7 @@ func (p *PE) CopyLocal(target, offset int, data []byte) {
 		panic("shmem: CopyLocal to a PE on a different node (shmem_ptr is NULL)")
 	}
 	p.prof(RoutineCopyLocal, len(data))
-	p.Charge(p.world.cfg.Cost.LocalTransferCost(len(data)))
+	p.ChargeEvent(sim.EvLocalCopy, int64(len(data)))
 	p.rawWrite(target, offset, data)
 }
 
@@ -148,7 +149,7 @@ func (p *PE) ReadLocal(target, offset int, buf []byte) {
 		panic("shmem: ReadLocal from a PE on a different node (shmem_ptr is NULL)")
 	}
 	p.prof(RoutineReadLocal, len(buf))
-	p.Charge(p.world.cfg.Cost.LocalTransferCost(len(buf)))
+	p.ChargeEvent(sim.EvLocalCopy, int64(len(buf)))
 	p.rawRead(target, offset, buf)
 }
 
@@ -200,8 +201,8 @@ func (p *PE) WaitUntilInt64(offset int, cmp WaitCmp, value int64) int64 {
 // chargeTransfer charges the cost of moving n bytes to target.
 func (p *PE) chargeTransfer(target, n int) {
 	if p.SameNode(target) {
-		p.Charge(p.world.cfg.Cost.LocalTransferCost(n))
+		p.ChargeEvent(sim.EvLocalCopy, int64(n))
 	} else {
-		p.Charge(p.world.cfg.Cost.NetworkTransferCost(n))
+		p.ChargeEvent(sim.EvNetworkPut, int64(n))
 	}
 }

@@ -56,6 +56,11 @@ type Config struct {
 	// hooks (delays, stragglers, capacity shrinks, schedule shaking).
 	// See package fault. Nil means every hook is a no-op.
 	Fault fault.Injector
+	// Schedule, when non-nil, records every clock charge and runtime
+	// region marker per PE for the what-if engine (internal/whatif).
+	// Create it with sim.NewScheduleRecorder using this config's machine,
+	// timing, and post-default cost model.
+	Schedule *sim.ScheduleRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +148,10 @@ type PE struct {
 	rank  int
 	clock *sim.Clock
 
+	// sched is this PE's schedule log when the run records one (see
+	// Config.Schedule); nil otherwise. Only the owning goroutine appends.
+	sched *sim.PELog
+
 	// inj is the fault injector (nil for unperturbed runs); faultIdx
 	// holds the per-site invocation counters that key deterministic
 	// injection decisions. Only the owning goroutine touches them.
@@ -194,9 +203,54 @@ func (p *PE) World() *World { return p.world }
 // Clock returns the PE's virtual cycle clock.
 func (p *PE) Clock() *sim.Clock { return p.clock }
 
-// Charge advances this PE's clock by n cycles. It is used by higher
-// layers (conveyor, actor, papi) to account simulated work.
-func (p *PE) Charge(n int64) { p.clock.Charge(n) }
+// Charge advances this PE's clock by n cycles. It is used by
+// applications to account simulated work that has no cost-model event
+// kind; the charge is recorded as a raw-cycle event so replays stay
+// exact (but what-if cost perturbations cannot rescale it).
+func (p *PE) Charge(n int64) {
+	p.clock.Charge(n)
+	if p.sched != nil && n > 0 {
+		p.sched.Append(sim.EvRaw, n)
+	}
+}
+
+// ChargeEvent advances this PE's clock by the cost model's price for
+// the event and records it in the schedule log when one is attached.
+// All runtime-internal charge sites (shmem, conveyor, actor) go through
+// here (or ChargeInstr) so a recorded schedule can be re-priced under a
+// perturbed cost model.
+func (p *PE) ChargeEvent(kind sim.EventKind, arg int64) {
+	p.clock.Charge(p.world.cfg.Cost.PriceEvent(kind, arg))
+	if p.sched != nil {
+		p.sched.Append(kind, arg)
+	}
+}
+
+// ChargeInstr charges pre-priced instruction cycles, recording the
+// instruction count. The cycles must equal Cost().InstructionCost(ins);
+// callers on the message hot path precompute that product once per
+// batch instead of re-deriving it per message. (The what-if engine
+// re-prices the recorded count through the same InstructionCost.)
+func (p *PE) ChargeInstr(cycles, ins int64) {
+	p.clock.Charge(cycles)
+	if p.sched != nil {
+		p.sched.Append(sim.EvInstr, ins)
+	}
+}
+
+// RecordEvent appends a zero-cost region marker (barrier, finish
+// window, main-timer or handler transition) to the schedule log when
+// one is attached. The runtime calls it exactly where the profiling
+// state machine transitions fire, so replay reproduces attribution
+// bit-for-bit.
+func (p *PE) RecordEvent(kind sim.EventKind, arg int64) {
+	if p.sched != nil {
+		p.sched.Append(kind, arg)
+	}
+}
+
+// Recording reports whether this run records a what-if schedule.
+func (p *PE) Recording() bool { return p.sched != nil }
 
 // Yield cedes the processor to other PE goroutines. Spin loops in the
 // runtime call this to keep the simulation live on few OS threads. It is
@@ -240,6 +294,10 @@ func Run(cfg Config, body func(pe *PE)) error {
 		}
 		if skewer != nil {
 			w.pes[i].clock.SetSkewPercent(skewer.ClockSkewPercent(i))
+		}
+		if cfg.Schedule != nil {
+			w.pes[i].sched = cfg.Schedule.PE(i)
+			w.pes[i].sched.Skew = w.pes[i].clock.SkewPercent()
 		}
 	}
 

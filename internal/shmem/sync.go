@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"actorprof/internal/fault"
+	"actorprof/internal/sim"
 )
 
 // barrierPoisoned is the panic value await raises on PEs blocked in (or
@@ -90,6 +91,10 @@ func (p *PE) Barrier() {
 	}
 	// A barrier also implies quiet: all outstanding puts complete.
 	p.quiet()
+	// The barrier marker sits after the implied quiet's charge and
+	// before the release synchronization: replay computes its own
+	// generation maximum at this point, reproducing AdvanceTo exactly.
+	p.RecordEvent(sim.EvBarrier, 0)
 	max := p.world.barr.await(p.clock.Now())
 	p.clock.AdvanceTo(max)
 }

@@ -76,18 +76,21 @@ func (c *Clock) SkewPercent() int64 { return c.skewPercent }
 // skew). Negative charges are ignored.
 func (c *Clock) Charge(n int64) {
 	if n > 0 {
-		if c.skewPercent > 0 {
-			n += n * c.skewPercent / 100
-		}
-		c.charged.Add(n)
+		c.charged.Add(SkewCharge(n, c.skewPercent))
 	}
 }
 
 // Now returns the current clock value in cycles.
+//
+// In Hybrid mode the real elapsed-cycle component is inflated by the
+// same skew percentage as charges: a fault-injected slow PE must be
+// slow in *both* components, otherwise Hybrid runs would see the skew
+// only on the (typically smaller) charged part and under-model the
+// straggler that Virtual mode models fully.
 func (c *Clock) Now() int64 {
 	v := c.charged.Load()
 	if c.mode == Hybrid {
-		v += tsc.Cycles() - c.realBase
+		v += SkewCharge(tsc.Cycles()-c.realBase, c.skewPercent)
 	}
 	return v
 }

@@ -45,11 +45,37 @@ func quantile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// dropNaN returns vals without NaNs. The input slice is returned as-is
+// (no copy) when it carries none, which is the overwhelmingly common
+// case; callers must not mutate the result without copying.
+//
+// NaNs reach this package through degenerate trace arithmetic (0/0
+// rates on idle PEs) and must not poison summaries: sort.Float64s is
+// unspecified in their presence and one NaN turns a whole kernel
+// density to NaN.
+func dropNaN(vals []float64) []float64 {
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			out := make([]float64, i, len(vals))
+			copy(out, vals[:i])
+			for _, v := range vals[i+1:] {
+				if !math.IsNaN(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+	}
+	return vals
+}
+
 // Summarize computes the five-number summary of vals. It copies and
 // sorts; the input is not modified. Empty input yields the zero summary,
 // consistent with Mean's 0 (degenerate traces must not crash the
-// visualizer).
+// visualizer); NaN values are ignored, and all-NaN input degrades to the
+// empty-input behavior.
 func Summarize(vals []float64) Quartiles {
+	vals = dropNaN(vals)
 	if len(vals) == 0 {
 		return Quartiles{}
 	}
@@ -73,8 +99,9 @@ func SummarizeInts(vals []int64) Quartiles {
 	return Summarize(f)
 }
 
-// Mean returns the arithmetic mean (0 for empty input).
+// Mean returns the arithmetic mean (0 for empty input; NaNs ignored).
 func Mean(vals []float64) float64 {
+	vals = dropNaN(vals)
 	if len(vals) == 0 {
 		return 0
 	}
@@ -94,8 +121,9 @@ func MeanInts(vals []int64) float64 {
 	return Mean(f)
 }
 
-// StdDev returns the population standard deviation.
+// StdDev returns the population standard deviation (NaNs ignored).
 func StdDev(vals []float64) float64 {
+	vals = dropNaN(vals)
 	if len(vals) < 2 {
 		return 0
 	}
@@ -121,11 +149,13 @@ type Density struct {
 // EstimateDensity builds a kernel-smoothed histogram with the given
 // number of bins. Gaussian kernel, Silverman's rule-of-thumb bandwidth.
 // Empty input yields an all-zero density (consistent with Summarize and
-// Mean); a single distinct value yields a unit spike.
+// Mean); a single distinct value yields a unit spike. NaN values are
+// ignored - a single NaN would otherwise spread to every bin weight.
 func EstimateDensity(vals []float64, bins int) Density {
 	if bins <= 0 {
 		bins = 32
 	}
+	vals = dropNaN(vals)
 	if len(vals) == 0 {
 		return Density{Weights: make([]float64, bins)}
 	}
@@ -231,6 +261,9 @@ func Histogram(vals []float64, lo, hi float64, n int) []int {
 	}
 	w := (hi - lo) / float64(n)
 	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue // int(NaN) is platform-defined; skip instead
+		}
 		i := int((v - lo) / w)
 		if i < 0 {
 			i = 0

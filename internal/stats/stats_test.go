@@ -179,3 +179,104 @@ func TestIQR(t *testing.T) {
 		t.Fatalf("IQR = %v, want 4", q.IQR())
 	}
 }
+
+// TestEdgeCaseTable covers the degenerate inputs the visualizer feeds
+// this package: single elements, duplicate-heavy samples, and NaNs from
+// 0/0 trace arithmetic. Empty-input zero-value behavior must survive
+// all of them.
+func TestEdgeCaseTable(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		in   []float64
+		want Quartiles
+	}{
+		{"single element", []float64{7}, Quartiles{7, 7, 7, 7, 7}},
+		{"duplicate-heavy", []float64{5, 5, 5, 5, 5, 5, 5, 9}, Quartiles{5, 5, 5, 5, 9}},
+		{"all duplicates", []float64{3, 3, 3, 3}, Quartiles{3, 3, 3, 3, 3}},
+		{"NaN mixed in", []float64{nan, 1, 2, nan, 3}, Quartiles{1, 1.5, 2, 2.5, 3}},
+		{"single NaN", []float64{nan}, Quartiles{}},
+		{"all NaN", []float64{nan, nan, nan}, Quartiles{}},
+		{"NaN first and last", []float64{nan, 4, nan}, Quartiles{4, 4, 4, 4, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Summarize(tc.in); got != tc.want {
+				t.Errorf("Summarize(%v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMeanStdDevIgnoreNaN(t *testing.T) {
+	nan := math.NaN()
+	if got := Mean([]float64{nan, 2, 4, nan}); got != 3 {
+		t.Errorf("Mean with NaNs = %v, want 3", got)
+	}
+	if got := Mean([]float64{nan}); got != 0 {
+		t.Errorf("Mean(all NaN) = %v, want 0", got)
+	}
+	if got := StdDev([]float64{nan, 5, 5, 5}); got != 0 {
+		t.Errorf("StdDev with NaNs over constant data = %v, want 0", got)
+	}
+	if got := StdDev([]float64{nan, 5}); got != 0 {
+		t.Errorf("StdDev with one real value = %v, want 0", got)
+	}
+}
+
+func TestEstimateDensityEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	// NaNs dropped: same result as the clean sample.
+	clean := EstimateDensity([]float64{1, 2, 3, 4}, 8)
+	dirty := EstimateDensity([]float64{nan, 1, 2, nan, 3, 4}, 8)
+	if clean.Lo != dirty.Lo || clean.Hi != dirty.Hi {
+		t.Fatalf("density bounds differ: clean [%v,%v] dirty [%v,%v]", clean.Lo, clean.Hi, dirty.Lo, dirty.Hi)
+	}
+	for i := range clean.Weights {
+		if clean.Weights[i] != dirty.Weights[i] {
+			t.Fatalf("weight %d: clean %v dirty %v", i, clean.Weights[i], dirty.Weights[i])
+		}
+	}
+	// All NaN degrades to the empty-input all-zero density.
+	d := EstimateDensity([]float64{nan, nan}, 8)
+	for i, w := range d.Weights {
+		if w != 0 {
+			t.Fatalf("all-NaN density weight %d = %v, want 0", i, w)
+		}
+	}
+	// Duplicate-heavy single distinct value: unit spike, no NaN weights.
+	d = EstimateDensity([]float64{6, 6, 6, 6}, 9)
+	for i, w := range d.Weights {
+		if math.IsNaN(w) {
+			t.Fatalf("spike density weight %d is NaN", i)
+		}
+		if want := 0.0; i == 4 {
+			want = 1
+			if w != want {
+				t.Fatalf("spike not at center bin: weight[%d] = %v", i, w)
+			}
+		}
+	}
+}
+
+func TestHistogramSkipsNaN(t *testing.T) {
+	got := Histogram([]float64{math.NaN(), 0.5, math.NaN(), 1.5}, 0, 2, 2)
+	if got[0] != 1 || got[1] != 1 {
+		t.Errorf("Histogram with NaNs = %v, want [1 1]", got)
+	}
+}
+
+func TestDropNaNPreservesCleanSlice(t *testing.T) {
+	in := []float64{1, 2, 3}
+	if out := dropNaN(in); &out[0] != &in[0] {
+		t.Error("dropNaN copied a NaN-free slice")
+	}
+	in2 := []float64{1, math.NaN(), 3}
+	out := dropNaN(in2)
+	if len(out) != 2 || out[0] != 1 || out[1] != 3 {
+		t.Errorf("dropNaN = %v, want [1 3]", out)
+	}
+	if math.IsNaN(in2[1]) == false {
+		t.Error("dropNaN mutated its input")
+	}
+}

@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func goldenWhatIf() *WhatIf {
+	return &WhatIf{
+		Title:    "what-if: network 2x slower, fixture",
+		Subtitle: "projected makespan delta +48.2k cycles (+31.4%)",
+		Rows: []WhatIfRow{
+			{Label: "T_MAIN", Baseline: 120000, Projected: 120000},
+			{Label: "T_COMM", Baseline: 88000, Projected: 171000},
+			{Label: "T_PROC", Baseline: 45000, Projected: 45000},
+			{Label: "T_TOTAL", Baseline: 253000, Projected: 336000},
+			{Label: "makespan", Baseline: 153500, Projected: 201700},
+		},
+	}
+}
+
+func goldenRanked() *Ranked {
+	return &Ranked{
+		Title:  "bottleneck ranking, fixture",
+		XLabel: "avg handler cycles / avg activation interval",
+		Rows: []RankedRow{
+			{Label: "s0/m1", Score: 0.914, Detail: "1840 activations, avg 420 cyc"},
+			{Label: "s1/m0", Score: 0.377, Detail: "960 activations, avg 180 cyc"},
+			{Label: "s0/m0", Score: 0.122, Detail: "1840 activations, avg 61 cyc"},
+			{Label: "s2/m0", Score: 0, Detail: "4 activations, avg 12 cyc"},
+		},
+	}
+}
+
+func TestGoldenWhatIfRenderers(t *testing.T) {
+	cases := []struct {
+		name string
+		text func(w *bytes.Buffer) error
+		svg  func() (string, error)
+	}{
+		{"whatif", func(w *bytes.Buffer) error { return goldenWhatIf().RenderText(w) },
+			func() (string, error) { return goldenWhatIf().RenderSVG() }},
+		{"ranked", func(w *bytes.Buffer) error { return goldenRanked().RenderText(w) },
+			func() (string, error) { return goldenRanked().RenderSVG() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/text", func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.text(&buf); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name+"_text", buf.String())
+		})
+		t.Run(tc.name+"/svg", func(t *testing.T) {
+			svg, err := tc.svg()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name+"_svg", svg)
+		})
+	}
+}
+
+func TestWhatIfValidation(t *testing.T) {
+	if err := (&WhatIf{Title: "empty"}).RenderText(&bytes.Buffer{}); err == nil {
+		t.Error("what-if plot with no rows rendered")
+	}
+	if _, err := (&Ranked{Title: "empty"}).RenderSVG(); err == nil {
+		t.Error("ranked plot with no rows rendered")
+	}
+	bad := &Ranked{Rows: []RankedRow{{Label: "x", Score: math.NaN()}}}
+	if _, err := bad.RenderSVG(); err == nil {
+		t.Error("ranked plot with NaN score rendered")
+	}
+	neg := &Ranked{Rows: []RankedRow{{Label: "x", Score: -1}}}
+	if err := neg.RenderText(&bytes.Buffer{}); err == nil {
+		t.Error("ranked plot with negative score rendered")
+	}
+}
+
+func TestDeltaLabel(t *testing.T) {
+	cases := []struct {
+		base, proj int64
+		want       string
+	}{
+		{100, 100, "±0"},
+		{100, 150, "+50 (+50.0%)"},
+		{200, 150, "-50 (-25.0%)"},
+		{0, 5, "+5"},
+	}
+	for _, tc := range cases {
+		if got := deltaLabel(tc.base, tc.proj); got != tc.want {
+			t.Errorf("deltaLabel(%d, %d) = %q, want %q", tc.base, tc.proj, got, tc.want)
+		}
+	}
+}

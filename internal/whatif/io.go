@@ -1,0 +1,54 @@
+package whatif
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"actorprof/internal/sim"
+)
+
+// ScheduleFileName is the recorded-schedule sidecar written next to a
+// trace directory's other artifacts.
+const ScheduleFileName = "schedule.json"
+
+// WriteScheduleFile writes the schedule as dir/schedule.json.
+func WriteScheduleFile(dir string, s *sim.Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("whatif: encoding schedule: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ScheduleFileName), data, 0o644)
+}
+
+// ReadScheduleFile loads and validates dir/schedule.json. A missing
+// file is an os.ErrNotExist error: the run predates schedule capture
+// (or was traced without it) and cannot be what-if profiled.
+func ReadScheduleFile(dir string) (*sim.Schedule, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ScheduleFileName))
+	if err != nil {
+		return nil, err
+	}
+	var s sim.Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("whatif: parsing %s: %w", ScheduleFileName, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("whatif: invalid %s: %w", ScheduleFileName, err)
+	}
+	return &s, nil
+}
+
+// HasSchedule reports whether dir carries a recorded schedule.
+func HasSchedule(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, ScheduleFileName))
+	return err == nil && !fi.IsDir()
+}
