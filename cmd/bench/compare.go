@@ -13,7 +13,12 @@ var hotPath = map[string]bool{
 	"BenchmarkPushThroughput":  true,
 	"BenchmarkPushPullLocal":   true,
 	"BenchmarkHandlerDispatch": true,
-	"BenchmarkCodecRoundTrip":  true,
+	// The batched dispatch drain: its 0 allocs/op steady state is part
+	// of the ProcessBatch contract, so any allocation regression fails.
+	// (BenchmarkISort rides along informationally - it is an end-to-end
+	// app run whose alloc count is not a hot-path guarantee.)
+	"BenchmarkHandlerDispatchBatch": true,
+	"BenchmarkCodecRoundTrip":       true,
 	// Trace-pipeline I/O: the parallel sharded reader/writer in both
 	// on-disk formats, plus the per-line parse/append helpers whose
 	// zero-allocation contract the allocs/op check enforces.

@@ -34,9 +34,10 @@ var suites = map[string]struct {
 	bench string
 }{
 	"hot": {
-		pkgs: []string{"./internal/conveyor", "./internal/actor", "./internal/trace", "./internal/whatif"},
+		pkgs: []string{"./internal/conveyor", "./internal/actor", "./internal/trace", "./internal/whatif", "./internal/apps"},
 		bench: "^(BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
-			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
+			"BenchmarkHandlerDispatch|BenchmarkHandlerDispatchBatch|BenchmarkISort|BenchmarkISortPerMessage|" +
+			"BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
 			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
 			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine|" +
 			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan|" +
@@ -47,9 +48,10 @@ var suites = map[string]struct {
 		bench: "^BenchmarkFig",
 	},
 	"all": {
-		pkgs: []string{".", "./internal/conveyor", "./internal/actor", "./internal/trace", "./internal/whatif"},
+		pkgs: []string{".", "./internal/conveyor", "./internal/actor", "./internal/trace", "./internal/whatif", "./internal/apps"},
 		bench: "^(BenchmarkFig.*|BenchmarkPushThroughput|BenchmarkPushPullLocal|BenchmarkExchangeLinear16PE|" +
-			"BenchmarkHandlerDispatch|BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
+			"BenchmarkHandlerDispatch|BenchmarkHandlerDispatchBatch|BenchmarkISort|BenchmarkISortPerMessage|" +
+			"BenchmarkCodecRoundTrip|BenchmarkSendRecvUntraced|" +
 			"BenchmarkReadSet|BenchmarkWriteFiles|BenchmarkReadSummary|" +
 			"BenchmarkParseLogicalLine|BenchmarkAppendLogicalLine|" +
 			"BenchmarkWindowQueryEvents|BenchmarkWindowQueryPyramid|BenchmarkWindowQueryFullScan|" +

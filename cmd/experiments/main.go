@@ -25,10 +25,14 @@ import (
 	"strings"
 	"time"
 
+	"actorprof/internal/actor"
+	"actorprof/internal/apps"
 	"actorprof/internal/conveyor"
 	"actorprof/internal/core"
+	"actorprof/internal/graph"
 	"actorprof/internal/papi"
 	"actorprof/internal/shmem"
+	"actorprof/internal/sim"
 	"actorprof/internal/trace"
 	"actorprof/internal/viz"
 )
@@ -51,10 +55,17 @@ func runMain(args []string) error {
 	scale := fs.Int("scale", core.EnvScale(), "R-MAT scale (paper: 16)")
 	out := fs.String("out", "results", "output directory")
 	sweep := fs.String("sweep", "", "comma-separated scales for a scale-sensitivity sweep (e.g. 10,11,12)")
+	scaleup := fs.Bool("scaleup", false, "run the 256-PE scale-up scenario (isort + trianglecount) through the streaming-aggregation path")
+	suPEs := fs.Int("scaleup-pes", 256, "scale-up PE count")
+	suScale := fs.Int("scaleup-scale", 18, "scale-up R-MAT scale for trianglecount")
+	suKeys := fs.Int("scaleup-keys", 20000, "scale-up isort keys per PE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	r := &runner{out: *out, scale: *scale, reports: map[string]*core.TriangleReport{}}
+	if *scaleup {
+		return r.runScaleUp(*suPEs, 16, *suScale, *suKeys)
+	}
 	if *sweep != "" {
 		return r.runSweep(*sweep)
 	}
@@ -113,6 +124,141 @@ func (r *runner) runSweep(list string) error {
 	}
 	fmt.Printf("sweep written to %s\n", path)
 	return nil
+}
+
+// scaleUpTrace is the streaming-aggregation configuration the scale-up
+// scenario runs under: the collector folds every record into O(PEs^2)
+// matrices at collection time (paper Section VI: materializing the
+// hundreds of millions of per-send records such runs emit is the thing
+// that does not scale), with PAPI records batched per 256 sends.
+func scaleUpTrace() trace.Config {
+	return trace.Config{
+		Logical: true, Overall: true, Aggregate: true,
+		PAPIEvents:      []papi.Event{papi.TOT_INS},
+		PAPIRecordEvery: 256,
+	}
+}
+
+// runScaleUp exercises the scenarios far beyond the paper's 16/32-PE
+// grid: the ISx integer sort and the triangle-count case study at
+// hundreds of PEs, validated against their sequential references, with
+// all profiling running through the streaming-aggregation path. Results
+// land in <out>/scaleup.md.
+func (r *runner) runScaleUp(pes, perNode, scale, keysPerPE int) error {
+	if err := os.MkdirAll(r.out, 0o755); err != nil {
+		return err
+	}
+	rows := []string{
+		"| app | input | PEs | messages | validated | send imb (max/mean) | TOT_INS imb | host wall |",
+		"|---|---|---|---|---|---|---|---|",
+	}
+
+	// isort: the ISx weak-scaling input, batched dispatch.
+	{
+		icfg := apps.ISortConfig{KeysPerPE: keysPerPE, BucketWidth: 1 << 16, Seed: 42}
+		results := make([]apps.ISortResult, pes)
+		start := time.Now()
+		set, err := core.Run(core.Options{
+			Machine: sim.Machine{NumPEs: pes, PEsPerNode: perNode},
+			Trace:   scaleUpTrace(),
+		}, func(rt *actor.Runtime) error {
+			res, err := apps.ISort(rt, icfg)
+			if err != nil {
+				return err
+			}
+			results[rt.PE().Rank()] = res
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start).Round(time.Millisecond)
+		want := apps.ISortSerial(pes, icfg)
+		validated := true
+		for pe := range results {
+			if !int64SlicesEqual(results[pe].Keys, want[pe]) {
+				validated = false
+				break
+			}
+		}
+		lm := set.LogicalMatrix()
+		rows = append(rows, fmt.Sprintf("| isort | %d keys/PE | %d | %d | %v | %.1fx | %.1fx | %v |",
+			keysPerPE, pes, lm.Total(), validated,
+			trace.MaxOverMean(lm.SendTotals()),
+			trace.MaxOverMean(set.PAPITotalsPerPE(papi.TOT_INS)), wall))
+		fmt.Println(rows[len(rows)-1])
+		if !validated {
+			return fmt.Errorf("scaleup: isort validation failed at %d PEs", pes)
+		}
+	}
+
+	// trianglecount: the case-study kernel on an R-MAT graph several
+	// scales past the paper's, under the stressed (cyclic) distribution.
+	{
+		g, err := graph.GenerateRMAT(graph.Graph500(scale, 16, 42))
+		if err != nil {
+			return err
+		}
+		dist, err := core.DistCyclic.Build(g, pes)
+		if err != nil {
+			return err
+		}
+		counts := make([]int64, pes)
+		start := time.Now()
+		set, err := core.Run(core.Options{
+			Machine: sim.Machine{NumPEs: pes, PEsPerNode: perNode},
+			Trace:   scaleUpTrace(),
+		}, func(rt *actor.Runtime) error {
+			got, err := apps.TriangleCount(rt, g, dist)
+			if err != nil {
+				return err
+			}
+			counts[rt.PE().Rank()] = got
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start).Round(time.Millisecond)
+		expected := g.CountTrianglesSerial()
+		validated := true
+		for _, c := range counts {
+			if c != expected {
+				validated = false
+				break
+			}
+		}
+		lm := set.LogicalMatrix()
+		rows = append(rows, fmt.Sprintf("| trianglecount | R-MAT scale %d (%d vertices, %d edges) | %d | %d | %v | %.1fx | %.1fx | %v |",
+			scale, g.NumVertices(), g.NumEdges(), pes, lm.Total(), validated,
+			trace.MaxOverMean(lm.SendTotals()),
+			trace.MaxOverMean(set.PAPITotalsPerPE(papi.TOT_INS)), wall))
+		fmt.Println(rows[len(rows)-1])
+		if !validated {
+			return fmt.Errorf("scaleup: trianglecount validation failed (want %d)", expected)
+		}
+	}
+
+	content := fmt.Sprintf("# Scale-up scenario (%d PEs, streaming-aggregation path)\n\n%s\n",
+		pes, strings.Join(rows, "\n"))
+	path := filepath.Join(r.out, "scaleup.md")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scale-up results written to %s\n", path)
+	return nil
+}
+
+func int64SlicesEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (r *runner) run() error {

@@ -25,10 +25,18 @@ import (
 // Codec serializes fixed-size messages of type T for transport through a
 // conveyor. Size must be the exact encoded size; Encode writes into a
 // Size-byte buffer and Decode reads from one.
+//
+// DecodeBatch is optional: when non-nil it bulk-decodes a delivered
+// buffer of len(dst) back-to-back Size-byte records from raw into dst
+// and returns how many it decoded (a partial count is legal; the runtime
+// finishes the tail with Decode). Batch dispatch uses it to turn n
+// per-message decoder calls into one flat loop; without it the runtime
+// falls back to Decode per message.
 type Codec[T any] struct {
-	Size   int
-	Encode func(buf []byte, v T)
-	Decode func(buf []byte) T
+	Size        int
+	Encode      func(buf []byte, v T)
+	Decode      func(buf []byte) T
+	DecodeBatch func(dst []T, raw []byte) int
 }
 
 // Int64Codec transports a single int64 (8 bytes).
@@ -37,6 +45,12 @@ func Int64Codec() Codec[int64] {
 		Size:   8,
 		Encode: func(b []byte, v int64) { binary.LittleEndian.PutUint64(b, uint64(v)) },
 		Decode: func(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) },
+		DecodeBatch: func(dst []int64, raw []byte) int {
+			for i := range dst {
+				dst[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+			return len(dst)
+		},
 	}
 }
 
@@ -57,6 +71,16 @@ func PairCodec() Codec[Pair] {
 				A: int64(binary.LittleEndian.Uint64(b)),
 				B: int64(binary.LittleEndian.Uint64(b[8:])),
 			}
+		},
+		DecodeBatch: func(dst []Pair, raw []byte) int {
+			for i := range dst {
+				b := raw[i*16:]
+				dst[i] = Pair{
+					A: int64(binary.LittleEndian.Uint64(b)),
+					B: int64(binary.LittleEndian.Uint64(b[8:])),
+				}
+			}
+			return len(dst)
 		},
 	}
 }
@@ -80,6 +104,17 @@ func TripleCodec() Codec[Triple] {
 				C: int64(binary.LittleEndian.Uint64(b[16:])),
 			}
 		},
+		DecodeBatch: func(dst []Triple, raw []byte) int {
+			for i := range dst {
+				b := raw[i*24:]
+				dst[i] = Triple{
+					A: int64(binary.LittleEndian.Uint64(b)),
+					B: int64(binary.LittleEndian.Uint64(b[8:])),
+					C: int64(binary.LittleEndian.Uint64(b[16:])),
+				}
+			}
+			return len(dst)
+		},
 	}
 }
 
@@ -101,6 +136,16 @@ func U32PairCodec() Codec[U32Pair] {
 				A: binary.LittleEndian.Uint32(b),
 				B: binary.LittleEndian.Uint32(b[4:]),
 			}
+		},
+		DecodeBatch: func(dst []U32Pair, raw []byte) int {
+			for i := range dst {
+				b := raw[i*8:]
+				dst[i] = U32Pair{
+					A: binary.LittleEndian.Uint32(b),
+					B: binary.LittleEndian.Uint32(b[4:]),
+				}
+			}
+			return len(dst)
 		},
 	}
 }
@@ -125,6 +170,16 @@ func FloatPairCodec() Codec[FloatPair] {
 				Index: int64(binary.LittleEndian.Uint64(b)),
 				Value: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 			}
+		},
+		DecodeBatch: func(dst []FloatPair, raw []byte) int {
+			for i := range dst {
+				b := raw[i*16:]
+				dst[i] = FloatPair{
+					Index: int64(binary.LittleEndian.Uint64(b)),
+					Value: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+				}
+			}
+			return len(dst)
 		},
 	}
 }

@@ -86,3 +86,48 @@ func FuzzCodecDecodeEncode(f *testing.F) {
 		check("FloatPairCodec", fc.Size, func(in, out []byte) { fc.Encode(out, fc.Decode(in)) })
 	})
 }
+
+// FuzzDecodeBatch checks every built-in DecodeBatch fast path agrees
+// with the per-message Decode it replaces: decoding an arbitrary run of
+// wire items in one batch call must produce exactly the values Decode
+// yields item by item. Equality is checked by re-encoding each decoded
+// value and comparing bytes, so NaN payloads and sign bits count too.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 48))
+	f.Add([]byte("batch decode must match per-message decode, bit for bit"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkBatch(t, "Int64Codec", Int64Codec(), data)
+		checkBatch(t, "PairCodec", PairCodec(), data)
+		checkBatch(t, "TripleCodec", TripleCodec(), data)
+		checkBatch(t, "U32PairCodec", U32PairCodec(), data)
+		checkBatch(t, "FloatPairCodec", FloatPairCodec(), data)
+	})
+}
+
+func checkBatch[T any](t *testing.T, name string, c Codec[T], data []byte) {
+	t.Helper()
+	if c.DecodeBatch == nil {
+		t.Fatalf("%s: no DecodeBatch fast path", name)
+	}
+	n := len(data) / c.Size
+	raw := data[:n*c.Size]
+	dst := make([]T, n)
+	k := c.DecodeBatch(dst, raw)
+	if k < 0 || k > n {
+		t.Fatalf("%s: DecodeBatch returned %d for %d items", name, k, n)
+	}
+	// The runtime finishes any tail with per-message Decode; mirror it.
+	for i := k; i < n; i++ {
+		dst[i] = c.Decode(raw[i*c.Size : (i+1)*c.Size])
+	}
+	buf := make([]byte, c.Size)
+	for i := 0; i < n; i++ {
+		c.Encode(buf, dst[i])
+		if !bytes.Equal(buf, raw[i*c.Size:(i+1)*c.Size]) {
+			t.Fatalf("%s: item %d: batch decode diverges from wire bytes: %x -> %x",
+				name, i, raw[i*c.Size:(i+1)*c.Size], buf)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"actorprof/internal/conveyor"
 	"actorprof/internal/fault"
+	"actorprof/internal/papi"
 	"actorprof/internal/sim"
 )
 
@@ -45,11 +46,34 @@ type Selector[T any] struct {
 	recvCount []int64
 	// inProgress guards against re-entrant progress from handler sends.
 	inProgress bool
+
+	// The per-message cost-model work depends only on the (fixed) codec
+	// size, so it is computed once here instead of on every Send/drain:
+	// the lookup plus the integer division inside InstructionCost were
+	// ~25% of the un-traced messaging hot path.
+	sendWork    papi.Work // one Send's MAIN-segment work
+	sendCyc     int64     // InstructionCost(sendWork.Ins)
+	handlerWork papi.Work // one dispatch's PROC-segment work
+	handlerCyc  int64     // InstructionCost(handlerWork.Ins)
 }
 
 type mailbox[T any] struct {
 	process func(msg T, srcPE int)
-	done    bool
+	// processBatch, when installed instead of process, receives each
+	// delivered pull-ring run as one invocation over the scratch slices
+	// below (see Selector.ProcessBatch).
+	processBatch func(msgs []T, srcPEs []int)
+	done         bool
+	// draining guards the batch scratch against re-entrant drains of the
+	// same mailbox: a batch handler's Send may hit a full buffer, whose
+	// retry loop drains this mailbox again while msgs/srcs are live.
+	draining bool
+	// msgs/srcs are the recycled batch scratch: decoded messages and
+	// source PEs for the current batch invocation. They grow to the pull
+	// ring's high-water run length and are then reused, so steady-state
+	// batch dispatch allocates nothing.
+	msgs []T
+	srcs []int
 }
 
 // NewSelector creates a selector with n mailboxes carrying T. It is a
@@ -72,6 +96,11 @@ func NewSelector[T any](rt *Runtime, n int, codec Codec[T]) (*Selector[T], error
 		sendCount: make([]int64, n),
 		recvCount: make([]int64, n),
 	}
+	cost := rt.pe.World().Cost()
+	s.sendWork = rt.costs.SendWork(codec.Size)
+	s.sendCyc = cost.InstructionCost(s.sendWork.Ins)
+	s.handlerWork = rt.costs.HandlerWork(codec.Size)
+	s.handlerCyc = cost.InstructionCost(s.handlerWork.Ins)
 	for mb := 0; mb < n; mb++ {
 		opts := conveyor.Options{
 			ItemBytes:   codec.Size,
@@ -107,7 +136,39 @@ func (s *Selector[T]) Process(mb int, fn func(msg T, srcPE int)) {
 	if s.started {
 		panic("actor: Process after Start")
 	}
+	if s.mailboxes[mb].processBatch != nil {
+		panic(fmt.Sprintf("actor: mailbox %d already has a ProcessBatch handler", mb))
+	}
 	s.mailboxes[mb].process = fn
+}
+
+// ProcessBatch installs a data-parallel handler for mailbox mb: instead
+// of one handler call per message, the runtime decodes each delivered
+// pull-ring run into recycled scratch and hands the whole run to fn as
+// ONE invocation — msgs holds the decoded messages in delivery order and
+// srcPEs the matching source ranks (len(msgs) == len(srcPEs) >= 1).
+//
+// Ownership (DESIGN.md §15): both slices are borrowed scratch, valid
+// only during the invocation. The runtime reuses them for the next
+// batch, so a handler must copy any element or subslice it retains past
+// its return. Sending from inside the handler is allowed, exactly as
+// with Process.
+//
+// Per-message semantics are preserved: RecvCount, the PAPI tally, the
+// cost-model instruction charge, and the logical trace all account n
+// messages, and handler schedule markers carry the batch length
+// (sim.BatchActorID) so what-if bottleneck ranking normalizes by
+// messages. A mailbox takes either Process or ProcessBatch, not both;
+// must be called before Start.
+func (s *Selector[T]) ProcessBatch(mb int, fn func(msgs []T, srcPEs []int)) {
+	s.checkMailbox(mb)
+	if s.started {
+		panic("actor: ProcessBatch after Start")
+	}
+	if s.mailboxes[mb].process != nil {
+		panic(fmt.Sprintf("actor: mailbox %d already has a Process handler", mb))
+	}
+	s.mailboxes[mb].processBatch = fn
 }
 
 // NumMailboxes returns the number of mailboxes.
@@ -134,8 +195,8 @@ func (s *Selector[T]) Start() {
 		panic("actor: Start called twice")
 	}
 	for mb := range s.mailboxes {
-		if s.mailboxes[mb].process == nil {
-			panic(fmt.Sprintf("actor: mailbox %d has no Process handler", mb))
+		if s.mailboxes[mb].process == nil && s.mailboxes[mb].processBatch == nil {
+			panic(fmt.Sprintf("actor: mailbox %d has no Process or ProcessBatch handler", mb))
 		}
 	}
 	s.started = true
@@ -169,9 +230,8 @@ func (s *Selector[T]) Send(mb int, msg T, dst int) {
 	// Message construction and the mailbox append are MAIN-segment user
 	// work (Table I): tally the PAPI cost model and charge the clock.
 	s.sendCount[mb]++
-	w := rt.costs.SendWork(s.codec.Size)
-	rt.engine.Tally(w)
-	rt.pe.ChargeInstr(rt.pe.World().Cost().InstructionCost(w.Ins), w.Ins)
+	rt.engine.Tally(s.sendWork)
+	rt.pe.ChargeInstr(s.sendCyc, s.sendWork.Ins)
 	if rt.collecting() {
 		rt.pc.LogicalSend(mb, dst, s.codec.Size)
 	}
@@ -277,13 +337,14 @@ func (s *Selector[T]) progress() {
 func (s *Selector[T]) drain(mb int) {
 	c := s.convs[mb]
 	m := &s.mailboxes[mb]
+	if m.processBatch != nil {
+		s.drainBatch(mb)
+		return
+	}
 	rt := s.rt
-	// The dispatch cost depends only on the (fixed) message size, so the
-	// cost-model work is computed once per drained batch rather than per
-	// message; each message still tallies and charges it individually,
-	// keeping the MAIN/PROC/COMM attribution identical.
-	w := rt.costs.HandlerWork(s.codec.Size)
-	instr := rt.pe.World().Cost().InstructionCost(w.Ins)
+	// Each message tallies and charges the (hoisted) dispatch work
+	// individually, keeping the MAIN/PROC/COMM attribution identical.
+	w, instr := s.handlerWork, s.handlerCyc
 	actor := sim.ActorID(s.ord, mb)
 	for {
 		item, src, ok := c.Pull()
@@ -304,6 +365,72 @@ func (s *Selector[T]) drain(mb int) {
 		m.process(msg, src)
 		rt.handlerExit(actor, start)
 	}
+}
+
+// drainBatch dispatches mailbox mb's pending messages in pull-ring
+// runs: each contiguous run is decoded into the mailbox's recycled
+// scratch slices and handed to the ProcessBatch handler as one
+// invocation. Accounting stays per message — RecvCount, the PAPI tally,
+// and the instruction charge all scale by the batch length — but the
+// clock takes ONE EvInstr event of n×w.Ins instructions per batch.
+// That exact event is what the what-if engine re-prices, and
+// InstructionCost is nonlinear in its argument (integer division by
+// InstructionScale), so the live charge must be InstructionCost(n×ins),
+// not n×InstructionCost(ins), for replay to agree bit-for-bit.
+func (s *Selector[T]) drainBatch(mb int) {
+	c := s.convs[mb]
+	m := &s.mailboxes[mb]
+	if m.draining {
+		// Re-entered from a batch handler's Send retry loop while the
+		// scratch is live; the outer invocation's loop picks up whatever
+		// this pass would have pulled. (Pull draining never gates push
+		// space, so skipping cannot deadlock the retry.)
+		return
+	}
+	m.draining = true
+	rt := s.rt
+	w := s.handlerWork
+	cost := rt.pe.World().Cost()
+	size := s.codec.Size
+	for {
+		raw, rawSrcs, n := c.PullRun()
+		if n == 0 {
+			break
+		}
+		msgs, srcs := m.msgs, m.srcs
+		if cap(msgs) < n || cap(srcs) < n {
+			msgs = make([]T, n)
+			srcs = make([]int, n)
+		}
+		msgs, srcs = msgs[:n], srcs[:n]
+		m.msgs, m.srcs = msgs, srcs
+		// Decode the whole borrowed view before dispatch: the handler may
+		// Send, which makes conveyor progress and recycles raw/rawSrcs.
+		i := 0
+		if s.codec.DecodeBatch != nil {
+			i = s.codec.DecodeBatch(msgs, raw)
+		}
+		for ; i < n; i++ {
+			msgs[i] = s.codec.Decode(raw[i*size : (i+1)*size])
+		}
+		for j, src := range rawSrcs {
+			srcs[j] = int(src)
+		}
+		s.recvCount[mb] += int64(n)
+		rt.engine.Tally(w.Scale(int64(n)))
+		ins := int64(n) * w.Ins
+		rt.pe.ChargeInstr(cost.InstructionCost(ins), ins)
+		// Injection point (schedule-only), once per batch with the batch
+		// length as argument.
+		if rt.pe.HasFault() {
+			rt.pe.FaultSchedArg(fault.SiteHandler, int64(n))
+		}
+		actor := sim.BatchActorID(s.ord, mb, n)
+		start := rt.handlerEnter(actor)
+		m.processBatch(msgs, srcs)
+		rt.handlerExit(actor, start)
+	}
+	m.draining = false
 }
 
 // terminated reports whether every mailbox's conveyor has completed and

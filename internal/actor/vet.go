@@ -38,6 +38,17 @@ func ProgressMethods() []string {
 	return []string{"Send", "Progress", "Done", "DoneAll"}
 }
 
+// BatchHandlerMethods returns, for each *Selector method that installs a
+// data-parallel batch handler, the index of the handler-function
+// argument. The handler's slice parameters (msgs, srcPEs) are borrowed
+// runtime scratch, valid only during the invocation (DESIGN.md §15):
+// the runtime recycles them for the next batch, so retaining either past
+// the handler return reads recycled memory. The escapingview analyzer
+// seeds them as tracked borrowed views.
+func BatchHandlerMethods() map[string]int {
+	return map[string]int{"ProcessBatch": 1}
+}
+
 // PairedMethods returns *Runtime method-name pairs (opener -> closer)
 // whose calls must balance within a function: a Pause without a matching
 // Resume silently discards the rest of the run's trace, leaving holes

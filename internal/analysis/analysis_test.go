@@ -19,7 +19,7 @@ var analyzerGolden = map[string][]loc{
 	"sendafterdone":      {{11, 2}, {16, 2}, {21, 2}, {27, 3}},
 	"unpairedregion":     {{12, 2}, {24, 2}, {41, 9}, {46, 2}, {47, 6}},
 	"rawoffset":          {{7, 17}, {8, 23}, {9, 21}, {10, 32}},
-	"escapingview":       {{18, 2}, {23, 3}, {29, 10}, {39, 7}, {49, 9}, {58, 9}, {65, 9}, {77, 9}},
+	"escapingview":       {{18, 2}, {23, 3}, {29, 10}, {39, 7}, {49, 9}, {58, 9}, {65, 9}, {77, 9}, {90, 3}, {96, 3}, {102, 12}, {109, 8}, {116, 10}},
 	"sharedhandlerstate": {{21, 4}, {22, 4}, {34, 2}},
 	"stalestaging":       {{8, 9}, {15, 2}, {22, 9}},
 }

@@ -39,6 +39,15 @@ type taintSpec struct {
 	// releaseArgs returns the argument indices a resolved call releases
 	// (the value must not be used afterwards), or nil.
 	releaseArgs func(fn *types.Func) []int
+	// batchHandlerArg, when non-nil, returns the handler-function
+	// argument index of a resolved call that installs a data-parallel
+	// batch handler (actor.BatchHandlerMethods), or -1. The handler
+	// literal's slice parameters are borrowed runtime scratch, seeded as
+	// sticky tracked values: retaining them past the handler return is
+	// an escape, but progress inside the handler does not stale them
+	// (the runtime's re-entrancy guard keeps the scratch live for the
+	// whole invocation).
+	batchHandlerArg func(fn *types.Func) int
 	// describe names the tracked value class in messages, e.g.
 	// "borrowed conveyor view".
 	describe string
@@ -66,6 +75,9 @@ type taint struct {
 	// (further uses are violations).
 	staleBy  string
 	stalePos token.Pos
+	// sticky exempts the value from invalidation: batch-handler scratch
+	// stays valid across handler-internal progress.
+	sticky bool
 }
 
 // summaryTable holds the interprocedural function summaries computed by
@@ -114,8 +126,10 @@ type taintWalker struct {
 	// collect receives summary facts; nil in reporting mode.
 	collect *summaryCollector
 
-	// edits, when non-nil, lets the walker attach mechanical fixes.
-	edits func(pos token.Pos, valueEnd token.Pos)
+	// edits, when non-nil, lets the walker attach mechanical fixes. typ
+	// is the escaping expression's static type (nil when unknown), so
+	// the copy wraps in the right slice type: append([]T(nil), v...).
+	edits func(pos token.Pos, valueEnd token.Pos, typ types.Type)
 }
 
 // summaryCollector accumulates one function's summary during a
@@ -607,11 +621,21 @@ func (w *taintWalker) evalCall(call *ast.CallExpr) {
 		}
 		return
 	}
+	fn := calleeFunc(w.info, call)
+	// Batch-handler registration: seed the handler literal's slice
+	// parameters as tracked scratch BEFORE walking the literal body, so
+	// the walk sees retention of msgs/srcPEs as escapes.
+	if fn != nil && w.spec.batchHandlerArg != nil {
+		if idx := w.spec.batchHandlerArg(fn); idx >= 0 && idx < len(call.Args) {
+			if lit, ok := unparen(call.Args[idx]).(*ast.FuncLit); ok {
+				w.seedBatchScratch(fn, lit)
+			}
+		}
+	}
 	w.evalExpr(call.Fun)
 	for _, a := range call.Args {
 		w.evalExpr(a)
 	}
-	fn := calleeFunc(w.info, call)
 	if fn == nil {
 		return
 	}
@@ -650,10 +674,34 @@ func (w *taintWalker) evalCall(call *ast.CallExpr) {
 			w.collect.invalidates = true
 		}
 		for obj, t := range w.vars {
-			if t.staleBy == "" {
+			if t.staleBy == "" && !t.sticky {
 				t.staleBy = label
 				t.stalePos = call.Pos()
 				w.vars[obj] = t
+			}
+		}
+	}
+}
+
+// seedBatchScratch marks the slice parameters of a batch-handler
+// literal as tracked borrowed scratch. The taints are sticky (progress
+// inside the handler does not recycle the scratch) and rootless (they
+// are runtime-owned, not caller-owned, so summary mode must not fold
+// them into paramEscapes).
+func (w *taintWalker) seedBatchScratch(fn *types.Func, lit *ast.FuncLit) {
+	if lit.Type.Params == nil {
+		return
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := w.info.Defs[name]
+			if obj == nil || !isSliceish(obj.Type()) {
+				continue
+			}
+			w.vars[obj] = taint{
+				origin: fn.Name() + " scratch parameter " + name.Name,
+				pos:    name.Pos(),
+				sticky: true,
 			}
 		}
 	}
@@ -739,7 +787,11 @@ func (w *taintWalker) reportEscapeAt(e ast.Expr, pos token.Pos, dest string) {
 	}
 	if w.report != nil {
 		if w.edits != nil && w.spec.copyFixable {
-			w.edits(e.Pos(), e.End())
+			var typ types.Type
+			if tv, ok := w.info.Types[e]; ok {
+				typ = tv.Type
+			}
+			w.edits(e.Pos(), e.End(), typ)
 		}
 		w.report(pos, w.spec.escapeFix,
 			"%s (from %s) escapes to %s; the backing buffer is recycled by later progress — store a copy instead",
@@ -800,11 +852,13 @@ func summarizeFunc(prog *Program, node *funcNode, spec *taintSpec) *funcSummary 
 		reportedAt: make(map[token.Pos]bool),
 		collect:    col,
 	}
-	// Seed byte-slice-ish parameters as caller-owned tracked values.
+	// Seed slice parameters as caller-owned tracked values. Any slice
+	// type qualifies: conveyor views are []byte/[]int32, and batch
+	// scratch handed to helpers can be a slice of any message type.
 	for i := 0; i < sig.Params().Len(); i++ {
 		p := sig.Params().At(i)
 		col.params = append(col.params, p)
-		if isByteSliceish(p.Type()) {
+		if isSliceish(p.Type()) {
 			w.vars[p] = taint{origin: "parameter " + p.Name(), pos: p.Pos(), root: p}
 		}
 	}
@@ -843,15 +897,11 @@ func summariesEqual(a, b *funcSummary) bool {
 	return true
 }
 
-// isByteSliceish reports whether t is []byte (or a named type whose
-// underlying type is), the only value class the lifetime rules track.
-func isByteSliceish(t types.Type) bool {
-	s, ok := t.Underlying().(*types.Slice)
-	if !ok {
-		return false
-	}
-	b, ok := s.Elem().Underlying().(*types.Basic)
-	return ok && b.Kind() == types.Byte
+// isSliceish reports whether t is a slice (or a named type whose
+// underlying type is) - the value class the lifetime rules track.
+func isSliceish(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
 }
 
 func min(a, b int) int {

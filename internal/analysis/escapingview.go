@@ -27,10 +27,10 @@ func (EscapingView) Name() string { return "escapingview" }
 
 // Doc implements Analyzer.
 func (EscapingView) Doc() string {
-	return "borrowed conveyor view (Pull/PushSlot result) escapes its borrow — stored to a field, global, channel, or goroutine, or used after conveyor/actor progress recycled its backing buffer; copy the bytes first (append([]byte(nil), v...))"
+	return "borrowed conveyor view (Pull/PushSlot/PullRun result) or ProcessBatch scratch slice escapes its borrow — stored to a field, global, channel, or goroutine, or used after conveyor/actor progress recycled its backing buffer; copy the elements first (append([]T(nil), v...))"
 }
 
-const escapeViewFix = "copy before retaining: v = append([]byte(nil), v...)"
+const escapeViewFix = "copy before retaining: v = append([]T(nil), v...)"
 const staleViewFix = "copy the bytes you still need before the progress call"
 
 // borrowSpec parameterizes the dataflow engine for borrowed conveyor
@@ -40,6 +40,7 @@ func borrowSpec() *taintSpec {
 	borrowed := conveyor.BorrowedViewMethods()
 	convProgress := nameSet(conveyor.ProgressMethods())
 	actProgress := nameSet(actor.ProgressMethods())
+	batch := actor.BatchHandlerMethods()
 	return &taintSpec{
 		describe:     "borrowed conveyor view",
 		escapeFix:    escapeViewFix,
@@ -49,9 +50,7 @@ func borrowSpec() *taintSpec {
 		sourceResults: func(fn *types.Func) []int {
 			if n := recvNamed(fn); n != nil && n.Obj().Pkg() != nil &&
 				n.Obj().Pkg().Path() == pkgConveyor && n.Obj().Name() == "Conveyor" {
-				if idx, ok := borrowed[fn.Name()]; ok {
-					return []int{idx}
-				}
+				return borrowed[fn.Name()]
 			}
 			return nil
 		},
@@ -71,6 +70,15 @@ func borrowSpec() *taintSpec {
 			return ""
 		},
 		releaseArgs: func(fn *types.Func) []int { return nil },
+		batchHandlerArg: func(fn *types.Func) int {
+			if n := recvNamed(fn); n != nil && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == pkgActor && n.Obj().Name() == "Selector" {
+				if idx, ok := batch[fn.Name()]; ok {
+					return idx
+				}
+			}
+			return -1
+		},
 	}
 }
 
@@ -95,10 +103,20 @@ func (a EscapingView) Run(pass *Pass) {
 func runLifetimeWalk(pass *Pass, spec *taintSpec, body *ast.BlockStmt) {
 	var pending []TextEdit
 	w := newTaintWalker(pass.Pkg.Info, spec, nil)
-	w.edits = func(pos, end token.Pos) {
+	w.edits = func(pos, end token.Pos, typ types.Type) {
+		// The copy must be the same slice type as the escaping value:
+		// []byte for conveyor views, the message slice type for batch
+		// scratch. Unknown types conservatively fall back to []byte,
+		// matching the historical fix.
+		elem := "byte"
+		if typ != nil {
+			if s, ok := typ.Underlying().(*types.Slice); ok {
+				elem = types.TypeString(s.Elem(), types.RelativeTo(pass.Pkg.Types))
+			}
+		}
 		file := pass.Pkg.Fset.Position(pos)
 		pending = []TextEdit{
-			{File: file.Filename, Offset: file.Offset, End: file.Offset, NewText: "append([]byte(nil), "},
+			{File: file.Filename, Offset: file.Offset, End: file.Offset, NewText: "append([]" + elem + "(nil), "},
 			{File: file.Filename, Offset: pass.Pkg.Fset.Position(end).Offset, End: pass.Pkg.Fset.Position(end).Offset, NewText: "...)"},
 		}
 	}

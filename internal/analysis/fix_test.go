@@ -84,8 +84,8 @@ func TestFixRoundTripRawOffset(t *testing.T) {
 func TestFixRoundTripEscapingView(t *testing.T) {
 	dir := copyFixtureTo(t, filepath.Join("testdata", "fix", "escapingview"), "fixtmp-escview")
 	diags := runRule(t, dir, "escapingview")
-	if len(diags) != 4 {
-		t.Fatalf("pre-fix: got %d findings, want 4: %+v", len(diags), diags)
+	if len(diags) != 5 {
+		t.Fatalf("pre-fix: got %d findings, want 5: %+v", len(diags), diags)
 	}
 	for _, d := range diags {
 		if len(d.Edits) == 0 {
@@ -108,6 +108,7 @@ func TestFixRoundTripEscapingView(t *testing.T) {
 		"lastMsg = append([]byte(nil), item...)",
 		"out <- append([]byte(nil), slot...)",
 		"stash(append([]byte(nil), item...))",
+		"storedKeys = append([]int64(nil), msgs...)",
 	} {
 		if !strings.Contains(string(patched), want) {
 			t.Errorf("patched source missing %q:\n%s", want, patched)

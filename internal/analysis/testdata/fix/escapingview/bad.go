@@ -2,7 +2,10 @@
 // the -fix round-trip test applies them and re-vets clean.
 package fixture
 
-import "actorprof/internal/conveyor"
+import (
+	"actorprof/internal/actor"
+	"actorprof/internal/conveyor"
+)
 
 var lastMsg []byte
 
@@ -34,4 +37,12 @@ func interprocEscape(c *conveyor.Conveyor) {
 	if item, _, ok := c.Pull(); ok {
 		stash(item) // fixable: copy at the call site
 	}
+}
+
+var storedKeys []int64
+
+func batchGlobalStore(sel *actor.Selector[int64]) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		storedKeys = msgs // fixable: copy uses the message element type
+	})
 }

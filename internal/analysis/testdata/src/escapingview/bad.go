@@ -76,3 +76,43 @@ func indirectStale(c *conveyor.Conveyor) byte {
 	c.Advance(false)
 	return v[0] // line 77: borrowed-through-helper view read after progress
 }
+
+type keyBox struct{ keys []int64 }
+
+var lastSrcs []int
+
+var storedKeys []int64
+
+func keepKeys(ks []int64) { storedKeys = ks }
+
+func batchFieldStore(sel *actor.Selector[int64], box *keyBox) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		box.keys = msgs // batch scratch escapes to a struct field
+	})
+}
+
+func batchGlobalSrcs(sel *actor.Selector[int64]) {
+	sel.ProcessBatch(1, func(msgs []int64, srcPEs []int) {
+		lastSrcs = srcPEs // source-PE scratch escapes to a package-level variable
+	})
+}
+
+func batchInterprocEscape(sel *actor.Selector[int64]) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		keepKeys(msgs) // callee's summary says the parameter escapes
+	})
+}
+
+func batchGoroutineCapture(sel *actor.Selector[int64]) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		go func() {
+			_ = msgs[0] // batch scratch captured by a goroutine
+		}()
+	})
+}
+
+func batchChannelSend(sel *actor.Selector[int64], out chan []int64) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		out <- msgs // batch scratch escapes over a channel
+	})
+}

@@ -1,7 +1,10 @@
 // Negative cases: copies and in-window uses keep every rule silent.
 package fixture
 
-import "actorprof/internal/conveyor"
+import (
+	"actorprof/internal/actor"
+	"actorprof/internal/conveyor"
+)
 
 func copiedBeforeStore(c *conveyor.Conveyor, box *inbox) {
 	item, _, ok := c.Pull()
@@ -48,4 +51,28 @@ func slotFilledInWindow(c *conveyor.Conveyor, dst int) bool {
 		slot[i] = byte(i) // writes inside the window are the whole point
 	}
 	return true
+}
+
+func batchCopied(sel *actor.Selector[int64], box *keyBox) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		box.keys = append([]int64(nil), msgs...) // copy: the scratch never escapes
+	})
+}
+
+func batchInWindow(sel *actor.Selector[int64], sum *int64) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		for i, m := range msgs {
+			*sum += m + int64(srcPEs[i]) // in-invocation use is the whole point
+		}
+	})
+}
+
+func batchSendInside(sel *actor.Selector[int64]) {
+	sel.ProcessBatch(0, func(msgs []int64, srcPEs []int) {
+		for i := range msgs {
+			// Re-entrant progress does not recycle the scratch: the
+			// runtime's draining guard keeps it live for the invocation.
+			sel.Send(1, msgs[i], srcPEs[i])
+		}
+	})
 }

@@ -1,0 +1,141 @@
+package apps_test
+
+import (
+	"reflect"
+	"testing"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/apps"
+	"actorprof/internal/core"
+	"actorprof/internal/sim"
+	"actorprof/internal/trace"
+)
+
+// The differential equivalence suite: every batch-converted app must
+// behave identically under per-message (Process) and batched
+// (ProcessBatch) dispatch - bit-identical results AND identical logical
+// traces. Batching changes how many messages one handler invocation
+// covers, never what is sent or computed, so the per-(src,dst) send
+// matrix and its row/column totals (send and receive counts per PE)
+// must not move.
+
+// equivRun executes app under full logical tracing and returns the
+// per-PE results plus the logical send matrix.
+func equivRun(t *testing.T, m sim.Machine, app func(rt *actor.Runtime) (any, error)) ([]any, trace.Matrix) {
+	t.Helper()
+	results := make([]any, m.NumPEs)
+	set, err := core.Run(core.Options{Machine: m, Trace: core.FullTrace()},
+		func(rt *actor.Runtime) error {
+			res, err := app(rt)
+			if err != nil {
+				return err
+			}
+			results[rt.PE().Rank()] = res
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, set.LogicalMatrix()
+}
+
+// assertEquiv compares the two modes' runs: results bit-identical,
+// matrices bit-identical, and per-PE send/recv totals bit-identical.
+func assertEquiv(t *testing.T, perMsg, batched []any, mPer, mBatch trace.Matrix) {
+	t.Helper()
+	if !reflect.DeepEqual(perMsg, batched) {
+		t.Errorf("per-PE results differ between dispatch modes:\nper-message: %+v\nbatched:     %+v", perMsg, batched)
+	}
+	if !reflect.DeepEqual(mPer, mBatch) {
+		t.Errorf("logical matrices differ between dispatch modes:\nper-message: %v\nbatched:     %v", mPer, mBatch)
+	}
+	if !reflect.DeepEqual(mPer.SendTotals(), mBatch.SendTotals()) {
+		t.Errorf("send totals differ: %v vs %v", mPer.SendTotals(), mBatch.SendTotals())
+	}
+	if !reflect.DeepEqual(mPer.RecvTotals(), mBatch.RecvTotals()) {
+		t.Errorf("recv totals differ: %v vs %v", mPer.RecvTotals(), mBatch.RecvTotals())
+	}
+}
+
+func TestHistogramBatchEquivalence(t *testing.T) {
+	m := sim.Machine{NumPEs: 8, PEsPerNode: 4}
+	run := func(perMessage bool) ([]any, trace.Matrix) {
+		return equivRun(t, m, func(rt *actor.Runtime) (any, error) {
+			return apps.Histogram(rt, apps.HistogramConfig{
+				UpdatesPerPE: 300, TableSizePerPE: 32, Seed: 11, PerMessage: perMessage,
+			})
+		})
+	}
+	perMsg, mPer := run(true)
+	batched, mBatch := run(false)
+	assertEquiv(t, perMsg, batched, mPer, mBatch)
+	if got := mPer.Total(); got != 8*300 {
+		t.Fatalf("logical total = %d, want %d", got, 8*300)
+	}
+}
+
+func TestISortBatchEquivalence(t *testing.T) {
+	m := sim.Machine{NumPEs: 8, PEsPerNode: 4}
+	cfg := apps.ISortConfig{KeysPerPE: 200, BucketWidth: 64, Seed: 19}
+	run := func(perMessage bool) ([]any, trace.Matrix) {
+		c := cfg
+		c.PerMessage = perMessage
+		return equivRun(t, m, func(rt *actor.Runtime) (any, error) {
+			return apps.ISort(rt, c)
+		})
+	}
+	perMsg, mPer := run(true)
+	batched, mBatch := run(false)
+	assertEquiv(t, perMsg, batched, mPer, mBatch)
+
+	// Both modes must also match the sequential oracle exactly.
+	want := apps.ISortSerial(m.NumPEs, cfg)
+	for pe, res := range batched {
+		got := res.(apps.ISortResult)
+		if !reflect.DeepEqual(got.Keys, want[pe]) {
+			t.Errorf("PE %d bucket differs from serial oracle", pe)
+		}
+	}
+}
+
+// Permutation's multi-PE outcome is schedule-dependent (contested slots
+// go to whichever dart lands first), so bit-identity across dispatch
+// modes only holds where the schedule is fixed: a single PE. Multi-PE
+// runs are checked against the bijection invariant in both modes.
+func TestPermutationBatchEquivalence(t *testing.T) {
+	t.Run("single-pe-bit-identical", func(t *testing.T) {
+		m := sim.Machine{NumPEs: 1, PEsPerNode: 1}
+		run := func(perMessage bool) ([]any, trace.Matrix) {
+			return equivRun(t, m, func(rt *actor.Runtime) (any, error) {
+				return apps.Permutation(rt, apps.PermutationConfig{
+					SlotsPerPE: 64, Seed: 5, PerMessage: perMessage,
+				})
+			})
+		}
+		perMsg, mPer := run(true)
+		batched, mBatch := run(false)
+		assertEquiv(t, perMsg, batched, mPer, mBatch)
+	})
+	t.Run("multi-pe-bijection", func(t *testing.T) {
+		m := sim.Machine{NumPEs: 4, PEsPerNode: 2}
+		for _, perMessage := range []bool{true, false} {
+			results, _ := equivRun(t, m, func(rt *actor.Runtime) (any, error) {
+				return apps.Permutation(rt, apps.PermutationConfig{
+					SlotsPerPE: 32, Seed: 5, PerMessage: perMessage,
+				})
+			})
+			seen := make(map[int64]bool)
+			for _, res := range results {
+				for _, v := range res.(apps.PermutationResult).Slots {
+					if v < 0 || v >= int64(m.NumPEs*32) || seen[v] {
+						t.Fatalf("perMessage=%v: value %d breaks bijection", perMessage, v)
+					}
+					seen[v] = true
+				}
+			}
+			if len(seen) != m.NumPEs*32 {
+				t.Fatalf("perMessage=%v: %d distinct values, want %d", perMessage, len(seen), m.NumPEs*32)
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package apps
+
+import (
+	"testing"
+
+	"actorprof/internal/actor"
+	"actorprof/internal/shmem"
+)
+
+// benchISort runs the full ISx-style sort - keygen, histogram exchange,
+// all-to-all key redistribution, local sort - end to end on an 8-PE
+// world and reports sorted keys per op. The redistribution phase is
+// where dispatch mode matters: batched is the default, per-message the
+// baseline.
+func benchISort(b *testing.B, perMessage bool) {
+	const npes, perNode, keysPerPE = 8, 4, 4000
+	icfg := ISortConfig{
+		KeysPerPE: keysPerPE, BucketWidth: 1 << 16, Seed: 42, PerMessage: perMessage,
+	}
+	b.ReportMetric(float64(npes*keysPerPE), "keys/op")
+	for i := 0; i < b.N; i++ {
+		err := shmem.Run(cfg(npes, perNode), func(pe *shmem.PE) {
+			rt := actor.NewRuntime(pe, actor.RuntimeOptions{})
+			res, err := ISort(rt, icfg)
+			if err != nil {
+				panic(err)
+			}
+			if res.Received == 0 && keysPerPE > 0 && pe.Rank() == 0 {
+				// With 8 PEs and uniform keys, an empty bucket on rank 0
+				// means the run lost messages.
+				panic("empty bucket")
+			}
+			rt.Close()
+			pe.Barrier()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkISort(b *testing.B) {
+	benchISort(b, false)
+}
+
+func BenchmarkISortPerMessage(b *testing.B) {
+	benchISort(b, true)
+}

@@ -22,6 +22,7 @@ var (
 	chaosHistogram   = HistogramConfig{UpdatesPerPE: 120, TableSizePerPE: 32, Seed: 9}
 	chaosIndexGather = IndexGatherConfig{RequestsPerPE: 100, TableSizePerPE: 32, Seed: 5}
 	chaosPermutation = PermutationConfig{SlotsPerPE: 32, Seed: 11}
+	chaosISort       = ISortConfig{KeysPerPE: 128, BucketWidth: 48, Seed: 77}
 	chaosTopoSort    = TopoSortConfig{RowsPerPE: 12, ExtraNNZPer256: 40, Seed: 321}
 	chaosInfluence   = InfluenceConfig{Seeds: 3, Walks: 24, EdgeProb256: 48, Seed: 2024}
 	chaosPageRank    = PageRankConfig{Damping: 0.85, Iterations: 4}
@@ -279,21 +280,60 @@ func ChaosApps() []harness.App {
 			Run: func(rt *actor.Runtime) (any, error) {
 				return Permutation(rt, chaosPermutation)
 			},
+			Check: checkPermutationBijection,
+		},
+		{
+			// Per-message variant of the (batched-by-default) permutation,
+			// keeping both dispatch paths soaked under faults.
+			Name:        "permutation-permsg",
+			BufferItems: 8,
+			Run: func(rt *actor.Runtime) (any, error) {
+				cfg := chaosPermutation
+				cfg.PerMessage = true
+				return Permutation(rt, cfg)
+			},
+			Check: checkPermutationBijection,
+		},
+		{
+			// ISx bucket sort: deterministic per-source placement makes
+			// the result exactly the serial oracle's bucket slices, no
+			// matter how the injector perturbs delivery.
+			Name: "isort",
+			Run: func(rt *actor.Runtime) (any, error) {
+				return ISort(rt, chaosISort)
+			},
+			Check: checkISortExact(chaosISort),
+		},
+		{
+			Name: "isort-permsg",
+			Run: func(rt *actor.Runtime) (any, error) {
+				cfg := chaosISort
+				cfg.PerMessage = true
+				return ISort(rt, cfg)
+			},
+			Check: checkISortExact(chaosISort),
+		},
+		{
+			Name: "histogram-permsg",
+			Run: func(rt *actor.Runtime) (any, error) {
+				cfg := chaosHistogram
+				cfg.PerMessage = true
+				return Histogram(rt, cfg)
+			},
 			Check: func(m sim.Machine, perPE []any) error {
-				n := m.NumPEs * chaosPermutation.SlotsPerPE
-				all := make([]int64, 0, n)
+				want := int64(m.NumPEs * chaosHistogram.UpdatesPerPE)
+				var mass int64
 				for pe, r := range perPE {
-					res := r.(PermutationResult)
-					if len(res.Slots) != chaosPermutation.SlotsPerPE {
-						return fmt.Errorf("PE %d holds %d slots, want %d", pe, len(res.Slots), chaosPermutation.SlotsPerPE)
+					res := r.(HistogramResult)
+					if res.GlobalMass != want {
+						return fmt.Errorf("PE %d saw global mass %d, want %d", pe, res.GlobalMass, want)
 					}
-					all = append(all, res.Slots...)
+					for _, v := range res.Local {
+						mass += v
+					}
 				}
-				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-				for i, v := range all {
-					if v != int64(i) {
-						return fmt.Errorf("not a permutation: position %d holds %d", i, v)
-					}
+				if mass != want {
+					return fmt.Errorf("buckets hold %d updates, want %d", mass, want)
 				}
 				return nil
 			},
@@ -309,6 +349,49 @@ func ChaosApps() []harness.App {
 			Check:       checkTopoSortInvariant,
 			BufferItems: 16,
 		},
+	}
+}
+
+// checkPermutationBijection validates a permutation run: the per-PE
+// slots merge into a bijection of 0..N-1 (the schedule-independent
+// invariant; which dart wins a contested slot is schedule-dependent).
+func checkPermutationBijection(m sim.Machine, perPE []any) error {
+	n := m.NumPEs * chaosPermutation.SlotsPerPE
+	all := make([]int64, 0, n)
+	for pe, r := range perPE {
+		res := r.(PermutationResult)
+		if len(res.Slots) != chaosPermutation.SlotsPerPE {
+			return fmt.Errorf("PE %d holds %d slots, want %d", pe, len(res.Slots), chaosPermutation.SlotsPerPE)
+		}
+		all = append(all, res.Slots...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			return fmt.Errorf("not a permutation: position %d holds %d", i, v)
+		}
+	}
+	return nil
+}
+
+// checkISortExact validates an isort run against the serial oracle:
+// every PE's sorted bucket must equal the corresponding slice of the
+// globally sorted key multiset, exactly.
+func checkISortExact(cfg ISortConfig) func(sim.Machine, []any) error {
+	return func(m sim.Machine, perPE []any) error {
+		want := ISortSerial(m.NumPEs, cfg)
+		for pe, r := range perPE {
+			res := r.(ISortResult)
+			if len(res.Keys) != len(want[pe]) {
+				return fmt.Errorf("PE %d bucket holds %d keys, want %d", pe, len(res.Keys), len(want[pe]))
+			}
+			for i, k := range res.Keys {
+				if k != want[pe][i] {
+					return fmt.Errorf("PE %d bucket[%d] = %d, want %d", pe, i, k, want[pe][i])
+				}
+			}
+		}
+		return nil
 	}
 }
 

@@ -149,6 +149,9 @@ type Conveyor struct {
 	unpulled    []byte
 	unpulledSrc int
 	hasUnpulled bool
+	// unpulledSrc32 backs the one-item source view PullRun hands out
+	// when it re-delivers an unpulled item.
+	unpulledSrc32 [1]int32
 
 	// recvBuf is the scratch buffer the receive path drains landing
 	// slots into. Ingest completes synchronously (items are copied into

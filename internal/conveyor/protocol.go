@@ -148,6 +148,29 @@ func (c *Conveyor) Pull() (item []byte, src int, ok bool) {
 	return item, src, ok
 }
 
+// PullRun returns the next contiguous run of delivered items as one
+// borrowed view: items holds n payloads of ItemBytes each, back to back,
+// and srcs holds the n original source PEs in parallel. n == 0 means the
+// pull queue is empty. Both slices are borrowed views into the
+// conveyor's delivery ring, valid only until the next conveyor call that
+// makes progress (Advance, Push, or a blocked-push retry); decode or
+// copy them before then. This is the batch-dispatch fast path: one call
+// drains up to a whole delivered ring segment instead of n Pulls.
+func (c *Conveyor) PullRun() (items []byte, srcs []int32, n int) {
+	if c.hasUnpulled {
+		// The unpulled item must come out first to preserve FIFO order;
+		// hand it back as a one-item run (its bytes were copied by
+		// Unpull, so the view contract trivially holds).
+		c.hasUnpulled = false
+		c.unpulledSrc32[0] = int32(c.unpulledSrc)
+		c.stats.Pulled++
+		return c.unpulled, c.unpulledSrc32[:], 1
+	}
+	items, srcs, n = c.pull.popRun()
+	c.stats.Pulled += int64(n)
+	return items, srcs, n
+}
+
 // Unpull returns the most recently pulled item to the front of the queue
 // (convey_unpull). Only one item may be outstanding. The item bytes are
 // copied, so an Unpulled view stays valid across further progress.

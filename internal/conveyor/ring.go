@@ -49,6 +49,28 @@ func (r *pullRing) push(payload []byte, src int) {
 	r.n++
 }
 
+// popRun removes the longest contiguous run of queued items starting at
+// the head and returns borrowed views of its payload bytes (n items of
+// itemBytes each) and the parallel source array. The views obey the same
+// lifetime rule as pop's: valid only until further items are delivered.
+// A wrapped queue yields its tail on the next call.
+func (r *pullRing) popRun() (items []byte, srcs []int32, n int) {
+	if r.n == 0 {
+		return nil, nil, 0
+	}
+	n = r.n
+	if rem := len(r.srcs) - r.head; n > rem {
+		n = rem
+	}
+	slot := r.head
+	r.head += n
+	if r.head == len(r.srcs) {
+		r.head = 0
+	}
+	r.n -= n
+	return r.data[slot*r.itemBytes : (slot+n)*r.itemBytes], r.srcs[slot : slot+n], n
+}
+
 // pop removes the oldest item and returns a view of its slot. The view
 // stays intact until the ring wraps back around to the slot, which
 // cannot happen before further items are delivered; callers must copy

@@ -4,18 +4,20 @@ package conveyor
 // actorvet analyzers (internal/analysis). See the matching vet.go in
 // internal/shmem.
 
-// BorrowedViewMethods returns, for each *Conveyor method whose result is
-// a borrowed view into conveyor-owned storage, the index of the borrowed
-// result. Pull returns a slice into the pull ring that is valid only
-// until the next progress; PushSlot returns a slot inside the push
-// buffer that must be fully written before the next progress. Retaining
-// either past a progress call reads (or writes) recycled memory — the
-// escapingview analyzer enforces the copy-before-progress discipline
-// from DESIGN.md §8.
-func BorrowedViewMethods() map[string]int {
-	return map[string]int{
-		"Pull":     0,
-		"PushSlot": 0,
+// BorrowedViewMethods returns, for each *Conveyor method whose results
+// include borrowed views into conveyor-owned storage, the indices of the
+// borrowed results. Pull returns a slice into the pull ring that is
+// valid only until the next progress; PushSlot returns a slot inside the
+// push buffer that must be fully written before the next progress;
+// PullRun returns both a payload view and a source-array view of the
+// ring. Retaining any of them past a progress call reads (or writes)
+// recycled memory — the escapingview analyzer enforces the
+// copy-before-progress discipline from DESIGN.md §8.
+func BorrowedViewMethods() map[string][]int {
+	return map[string][]int{
+		"Pull":     {0},
+		"PushSlot": {0},
+		"PullRun":  {0, 1},
 	}
 }
 
@@ -24,5 +26,5 @@ func BorrowedViewMethods() map[string]int {
 // recycle the storage behind every outstanding borrowed view. Any value
 // from BorrowedViewMethods is dead after any of these.
 func ProgressMethods() []string {
-	return []string{"Advance", "Push", "PushSlot", "Pull", "Unpull"}
+	return []string{"Advance", "Push", "PushSlot", "Pull", "PullRun", "Unpull"}
 }

@@ -176,8 +176,8 @@ func BottleneckPlot(an *whatif.Analysis, top int, title string) *viz.Ranked {
 		out.Rows = append(out.Rows, viz.RankedRow{
 			Label: b.Label,
 			Score: b.Score,
-			Detail: fmt.Sprintf("%s activations, avg %s cyc",
-				formatInt(b.Activations), formatInt(int64(b.AvgCycles))),
+			Detail: fmt.Sprintf("%s msgs in %s activations, avg %s cyc/msg",
+				formatInt(b.Messages), formatInt(b.Activations), formatInt(int64(b.AvgCycles))),
 		})
 	}
 	return out

@@ -59,6 +59,22 @@ func (p *PE) FaultSched(site fault.Site) {
 	}
 }
 
+// FaultSchedArg fires a schedule-only site with a site argument: the
+// batched handler-dispatch site fires once per batch and passes the
+// batch length, so injectors can key decisions on delivery size. Like
+// FaultSched, the decision may only add scheduler yields.
+func (p *PE) FaultSchedArg(site fault.Site, arg int64) {
+	if p.inj == nil {
+		return
+	}
+	idx := p.faultIdx[site]
+	p.faultIdx[site]++
+	d := p.inj.Decide(fault.Point{PE: p.rank, Site: site, Index: idx, Arg: arg})
+	for i := 0; i < d.Yields; i++ {
+		runtime.Gosched()
+	}
+}
+
 // FaultTransfer fires the conveyor buffer-transfer site, keyed by the
 // channel's buffer sequence number (deterministic per channel).
 func (p *PE) FaultTransfer(seq int64, target, bufBytes int) {

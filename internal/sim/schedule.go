@@ -65,7 +65,10 @@ const (
 	EvMainPause
 	EvMainResume
 	// EvHandlerStart/EvHandlerEnd bracket one outermost message-handler
-	// execution; Arg is the actor ID (selector ordinal << 8 | mailbox).
+	// execution (a batched activation is one bracket). Arg is the actor
+	// ID (selector ordinal << 8 | mailbox) with the batch message count
+	// packed into bits 32+ (0 means one message); split it with
+	// ActorIDCanon.
 	EvHandlerStart
 	EvHandlerEnd
 
@@ -290,7 +293,40 @@ func (r *ScheduleRecorder) Schedule() *Schedule { return &r.s }
 func ActorID(ord, mb int) int64 { return int64(ord)<<8 | int64(mb&0xff) }
 
 // ActorIDParts splits an actor ID into its selector ordinal and mailbox.
-func ActorIDParts(id int64) (ord, mb int) { return int(id >> 8), int(id & 0xff) }
+// A batch count packed in the high bits (BatchActorID) is ignored, so
+// marker arguments can be passed directly.
+func ActorIDParts(id int64) (ord, mb int) {
+	id &= actorIDMask
+	return int(id >> 8), int(id & 0xff)
+}
+
+// actorIDMask covers the canonical ActorID bits; BatchActorID packs the
+// message count above it.
+const actorIDMask = int64(1)<<32 - 1
+
+// BatchActorID packs an actor ID together with the number of messages a
+// batched handler activation delivered. n <= 1 yields the plain ActorID,
+// so per-message markers are unchanged.
+func BatchActorID(ord, mb, n int) int64 {
+	id := ActorID(ord, mb)
+	if n > 1 {
+		id |= int64(n) << 32
+	}
+	return id
+}
+
+// ActorIDCanon splits a handler-marker argument into the canonical actor
+// ID (as produced by ActorID) and the message count the bracketed
+// activation delivered (1 for per-message markers). Everything keyed by
+// actor — bottleneck aggregation, HandlerSpeedup factors — must key by
+// the canonical ID.
+func ActorIDCanon(id int64) (canon, msgs int64) {
+	msgs = id >> 32
+	if msgs <= 0 {
+		msgs = 1
+	}
+	return id & actorIDMask, msgs
+}
 
 // SkewCharge applies the slow-PE charge inflation: n plus pct percent,
 // in the exact integer arithmetic Clock.Charge uses (and the what-if

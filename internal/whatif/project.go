@@ -145,24 +145,37 @@ func (b *Breakdown) merge(o Breakdown) {
 // back-to-back - speeding it up shortens the run; a score near 0 means
 // it idles between activations and is not the constraint.
 type Bottleneck struct {
-	// Actor is the sim.ActorID; Label renders it as s<ordinal>/m<mailbox>.
+	// Actor is the canonical sim.ActorID; Label renders it as
+	// s<ordinal>/m<mailbox>.
 	Actor int64  `json:"actor"`
 	Label string `json:"label"`
-	// Activations counts outermost handler executions across all PEs.
+	// Activations counts outermost handler executions across all PEs. A
+	// batched activation (ProcessBatch) counts once here no matter how
+	// many messages it delivered.
 	Activations int64 `json:"activations"`
+	// Messages counts the messages those activations delivered: equal to
+	// Activations for per-message handlers, >= Activations for batched
+	// ones (the marker's packed batch count).
+	Messages int64 `json:"messages"`
 	// TotalCycles is the summed duration of those executions.
 	TotalCycles int64 `json:"total_cycles"`
-	// AvgCycles is TotalCycles / Activations.
+	// AvgCycles is TotalCycles / Messages: the per-message handler cost.
+	// Normalizing by messages rather than activations keeps batched and
+	// per-message runs of the same app comparable - a batch run has far
+	// fewer (but proportionally longer) activations.
 	AvgCycles float64 `json:"avg_cycles"`
 	// AvgInterval is the mean start-to-start spacing of consecutive
 	// activations on the same PE (0 when no PE saw two activations).
 	AvgInterval float64 `json:"avg_interval"`
-	// Score is AvgCycles / AvgInterval.
+	// Score is TotalCycles/Activations over AvgInterval (busy fraction
+	// of the activation cadence, independent of batching granularity
+	// only in the numerator's units).
 	Score float64 `json:"score"`
 }
 
 type actorAgg struct {
 	count  int64
+	msgs   int64
 	cycles int64
 	first  []int64
 	last   []int64
@@ -279,13 +292,14 @@ func Project(s *sim.Schedule, p Perturbation) (*Analysis, error) {
 				}
 				finishes++
 			case sim.EvHandlerStart:
-				a := actors[ev.Arg]
+				canon, msgs := sim.ActorIDCanon(ev.Arg)
+				a := actors[canon]
 				if a == nil {
 					a = &actorAgg{first: make([]int64, n), last: make([]int64, n), cnt: make([]int64, n)}
 					for i := range a.first {
 						a.first[i] = -1
 					}
-					actors[ev.Arg] = a
+					actors[canon] = a
 				}
 				if a.first[pe] < 0 {
 					a.first[pe] = now
@@ -293,6 +307,7 @@ func Project(s *sim.Schedule, p Perturbation) (*Analysis, error) {
 				a.last[pe] = now
 				a.cnt[pe]++
 				a.count++
+				a.msgs += msgs
 			case sim.EvHandlerEnd:
 				if a := actors[st.handler]; a != nil {
 					a.cycles += now - st.hstart
@@ -322,10 +337,11 @@ func Project(s *sim.Schedule, p Perturbation) (*Analysis, error) {
 			Actor:       id,
 			Label:       fmt.Sprintf("s%d/m%d", ord, mb),
 			Activations: a.count,
+			Messages:    a.msgs,
 			TotalCycles: a.cycles,
 		}
-		if a.count > 0 {
-			b.AvgCycles = float64(a.cycles) / float64(a.count)
+		if a.msgs > 0 {
+			b.AvgCycles = float64(a.cycles) / float64(a.msgs)
 		}
 		var spanSum, gaps int64
 		for pe := 0; pe < n; pe++ {
@@ -337,8 +353,10 @@ func Project(s *sim.Schedule, p Perturbation) (*Analysis, error) {
 		if gaps > 0 {
 			b.AvgInterval = float64(spanSum) / float64(gaps)
 		}
-		if b.AvgInterval > 0 {
-			b.Score = b.AvgCycles / b.AvgInterval
+		if b.AvgInterval > 0 && a.count > 0 {
+			// Busy fraction: per-activation duration over activation
+			// spacing (per-message AvgCycles would understate batch runs).
+			b.Score = float64(a.cycles) / float64(a.count) / b.AvgInterval
 		}
 		an.Bottlenecks = append(an.Bottlenecks, b)
 	}

@@ -130,7 +130,9 @@ type Perturbation struct {
 	Cost sim.CostModel `json:"cost"`
 	// HandlerSpeedup divides every charge made *inside* the named
 	// actor's handler intervals by the factor ("handler X is 2× faster"
-	// is factor 2). Keys are sim.ActorID values; factors must be > 0.
+	// is factor 2). Keys are canonical sim.ActorID values (batched
+	// activations are matched by their canonical ID, regardless of the
+	// message count packed into their markers); factors must be > 0.
 	// Per-message dispatch overhead is charged before the handler
 	// bracket and is deliberately not scaled - only the handler body is.
 	HandlerSpeedup map[int64]float64 `json:"handler_speedup,omitempty"`
@@ -199,7 +201,10 @@ func (a *attrib) marker(kind sim.EventKind, arg, now int64) {
 		a.mainStart = now
 	case sim.EvHandlerStart:
 		a.inHandler = true
-		a.handler = arg
+		// Batched activations pack the message count into the marker
+		// argument; handler state (and HandlerSpeedup keys) use the
+		// canonical actor ID.
+		a.handler, _ = sim.ActorIDCanon(arg)
 		a.hstart = now
 	case sim.EvHandlerEnd:
 		a.inHandler = false
